@@ -1,0 +1,37 @@
+# Convenience targets for the Digest reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench results examples full-scale clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-all: export REPRO_RUN_EXAMPLES=1
+test-all:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+results: bench
+	$(PYTHON) benchmarks/collect_results.py
+
+examples:
+	@for example in examples/*.py; do \
+		echo "=== $$example"; \
+		$(PYTHON) $$example || exit 1; \
+	done
+
+# the paper's published sizes; takes tens of minutes
+full-scale: export REPRO_BENCH_SCALE=1
+full-scale:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) benchmarks/collect_results.py
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

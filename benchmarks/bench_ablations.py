@@ -1,0 +1,55 @@
+"""Design-choice ablation benches (DESIGN.md section 4).
+
+1. Metropolis laziness on bipartite overlays (correctness).
+2. Continued walks vs fresh walks (cost).
+3. Two-stage vs cluster sampling under intra-node correlation (accuracy).
+4. Replacement policy: optimal partition vs all-retain / all-replace.
+"""
+
+from conftest import bench_seed
+
+from repro.experiments import ablations
+
+
+def test_laziness(benchmark, record_table):
+    result = benchmark.pedantic(
+        ablations.laziness_ablation, rounds=1, iterations=1
+    )
+    record_table("ablation_laziness", result.to_table())
+    assert result.tv_lazy < 0.01
+    assert result.tv_nonlazy > 0.4
+
+
+def test_continued_walks(benchmark, record_table):
+    result = benchmark.pedantic(
+        ablations.continued_walk_ablation,
+        kwargs={"seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    table = (
+        result.to_table()
+        + f"\nspeedup = {result.speedup:.2f}x (reset time vs full mixing)"
+    )
+    record_table("ablation_continued_walks", table)
+    assert result.speedup > 1.2
+
+
+def test_cluster_sampling(benchmark, record_table):
+    result = benchmark.pedantic(
+        ablations.cluster_sampling_ablation,
+        kwargs={"seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("ablation_cluster", result.to_table())
+    assert result.rmse_cluster > result.rmse_two_stage
+
+
+def test_replacement_policy(benchmark, record_table):
+    result = benchmark.pedantic(
+        ablations.replacement_policy_ablation, rounds=1, iterations=1
+    )
+    record_table("ablation_replacement", result.to_table())
+    assert result.variance_optimal < result.variance_all_replace
+    assert result.variance_optimal < result.variance_all_retain

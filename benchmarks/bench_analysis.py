@@ -1,0 +1,49 @@
+"""Analytical bench: the k-th occasion recursion explains the measured I.
+
+The paper's Eq. 11 one-step improvement at rho = 0.89 is only 1.37, yet
+both the paper and this reproduction measure I ~= 1.63 on TEMPERATURE.
+The steady-state fixed point of the successive-occasions recursion
+(:mod:`repro.core.analysis`) predicts 1.60 — the missing piece. This
+bench records the three-way comparison for both datasets.
+"""
+
+from conftest import bench_seed
+
+from repro.core.analysis import one_step_improvement, steady_state_improvement
+from repro.experiments.report import format_table
+
+PAPER_MEASURED = {"temperature": (0.89, 1.63), "memory": (0.68, 1.21)}
+
+
+def test_recursion_explains_measured_improvement(benchmark, record_table):
+    def compute():
+        rows = []
+        for dataset, (rho, measured) in PAPER_MEASURED.items():
+            rows.append(
+                [
+                    dataset,
+                    rho,
+                    one_step_improvement(rho),
+                    steady_state_improvement(rho),
+                    measured,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "dataset",
+            "rho",
+            "one-step I (Eq. 11)",
+            "steady-state I (recursion)",
+            "paper measured I",
+        ],
+        rows,
+        title="Why measured I exceeds Eq. 11: the recursion compounds",
+    )
+    record_table("analysis_improvement", table)
+    for _, rho, one_step, steady, measured in rows:
+        assert one_step <= steady
+        # the measured value must sit in [one-step, steady-state] (+slack)
+        assert one_step - 0.02 <= measured <= steady + 0.07

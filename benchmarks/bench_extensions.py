@@ -1,0 +1,53 @@
+"""Extension benches: future-work features and added ablations.
+
+* occasion-drift robustness (future work #3): naive stretched-occasion
+  estimation lags by ~rate*L/2; timestamp detrending removes the linear
+  component;
+* Metropolis targeting vs plain-walk importance reweighting (ablation 5).
+"""
+
+from conftest import bench_seed
+
+from repro.experiments import occasion_drift
+from repro.experiments.ablations import importance_sampling_ablation
+
+
+def test_occasion_drift(benchmark, record_table):
+    result = benchmark.pedantic(
+        occasion_drift.run,
+        kwargs={"seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("occasion_drift", result.to_table())
+    rows = result.rows
+    assert rows[-1].naive_mae > 2 * rows[0].naive_mae
+    assert rows[-1].detrended_mae < 0.5 * rows[-1].naive_mae
+
+
+def test_importance_sampling(benchmark, record_table):
+    result = benchmark.pedantic(
+        importance_sampling_ablation,
+        kwargs={"seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("ablation_importance", result.to_table())
+    assert result.rmse_metropolis < result.rmse_importance
+
+
+def test_churn_robustness(benchmark, record_table):
+    from repro.experiments import churn_robustness
+
+    result = benchmark.pedantic(
+        churn_robustness.run,
+        kwargs={"seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("churn_robustness", result.to_table())
+    static_tv = result.rows[0].mean_tv
+    for row in result.rows:
+        assert row.mean_tv < 2.0 * static_tv + 0.02  # unbiased under churn
+        assert row.mean_error < 1.0
+    assert result.rows[-1].pool_survival > 0.5

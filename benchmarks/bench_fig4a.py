@@ -1,0 +1,36 @@
+"""E1 / Figure 4-a: snapshot queries vs delta/sigma for ALL and PRED-k.
+
+Regenerates the paper's Figure 4-a series on the TEMPERATURE workload
+(epsilon = 2, p = 0.95, delta swept as a multiple of sigma) and checks its
+shape: PRED-k <= ALL everywhere, with large reductions at delta/sigma >= 1.
+"""
+
+from conftest import bench_scale, bench_seed
+
+from repro.experiments import fig4a
+
+
+def test_fig4a(benchmark, record_table):
+    result = benchmark.pedantic(
+        fig4a.run,
+        kwargs={"scale": bench_scale(), "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [result.to_table()]
+    last = len(result.ratios) - 1
+    for algorithm in result.algorithms[1:]:
+        lines.append(
+            f"{algorithm} reduction vs ALL at delta/sigma={result.ratios[last]}: "
+            f"{100 * result.reduction_vs_all(algorithm, last):.0f}% "
+            f"(paper: up to ~75% at delta/sigma=1)"
+        )
+    record_table("fig4a", "\n".join(lines))
+
+    for algorithm in result.algorithms[1:]:
+        for index in range(len(result.ratios)):
+            assert (
+                result.snapshot_queries[algorithm][index]
+                <= result.snapshot_queries["ALL"][index]
+            )
+        assert result.reduction_vs_all(algorithm, last) > 0.5

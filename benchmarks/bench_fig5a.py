@@ -1,0 +1,35 @@
+"""E3+E7 / Figure 5-a: total samples for the four algorithm combinations.
+
+Regenerates the overall-efficiency comparison (delta/sigma = 1,
+epsilon/sigma = 0.25, p = 0.95) and the Section VI-B3 improvement numbers:
+Digest vs the naive solution (paper: up to 3.2x) and the per-query RPT
+improvement factor.
+"""
+
+import pytest
+from conftest import bench_scale, bench_seed
+
+from repro.experiments import fig5a
+
+
+@pytest.mark.parametrize("dataset", ["temperature", "memory"])
+def test_fig5a(benchmark, record_table, dataset):
+    result = benchmark.pedantic(
+        fig5a.run,
+        kwargs={"dataset": dataset, "scale": bench_scale(), "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    table = (
+        result.to_table()
+        + f"\nDigest vs naive (ALL+INDEP / PRED3+RPT) = "
+        f"{result.digest_vs_naive:.2f}x (paper: up to 3.2x on TEMPERATURE)"
+        + f"\nRPT per-query improvement I = {result.rpt_improvement:.2f}"
+    )
+    record_table(f"fig5a_{dataset}", table)
+
+    digest = result.totals["PRED3+RPT"]
+    assert digest <= min(result.totals.values()) * 1.05
+    assert result.totals["ALL+INDEP"] == max(result.totals.values())
+    assert result.digest_vs_naive > 2.0
+    assert result.rpt_improvement > 1.0

@@ -1,0 +1,33 @@
+"""E4 / Figure 5-b: total communication cost of the four systems.
+
+Regenerates the message-count comparison for ALL+ALL, ALL+FILTER,
+ALL+INDEP and Digest (PRED3+RPT). The paper's ordering (each system an
+increasing multiple of Digest) must hold; the orders-of-magnitude spread
+grows with scale and matches the paper at REPRO_BENCH_SCALE=1.
+"""
+
+from conftest import bench_scale, bench_seed
+
+from repro.experiments import fig5b
+
+
+def test_fig5b(benchmark, record_table):
+    scale = max(0.25, bench_scale())  # below ~0.15 push beats sampling
+    result = benchmark.pedantic(
+        fig5b.run,
+        kwargs={"dataset": "temperature", "scale": scale, "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    table = (
+        result.to_table()
+        + "\npaper: Digest > 10x cheaper than ALL+FILTER, ~100x vs ALL+ALL,"
+        + "\n       and even ALL+INDEP beats ALL+FILTER"
+    )
+    record_table("fig5b", table)
+
+    messages = result.messages
+    assert messages["Digest(PRED3+RPT)"] < messages["ALL+INDEP"]
+    assert messages["ALL+INDEP"] < messages["ALL+FILTER"]
+    assert messages["ALL+FILTER"] < messages["ALL+ALL"]
+    assert result.ratio("ALL+ALL") > 10.0

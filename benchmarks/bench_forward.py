@@ -1,0 +1,24 @@
+"""Extension bench: forward regression (the paper's Section VIII item 1).
+
+Monte-Carlo of the retrospective revision across correlation levels:
+gated revision must never hurt and must remove >=10% RMSE at high rho.
+"""
+
+import pytest
+from conftest import bench_seed
+
+from repro.experiments import forward
+
+
+@pytest.mark.parametrize("rho", [0.5, 0.85, 0.95])
+def test_forward_regression(benchmark, record_table, rho):
+    result = benchmark.pedantic(
+        forward.simulate,
+        kwargs={"rho": rho, "trials": 3000, "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(f"forward_rho{rho}", result.to_table())
+    assert result.improvement >= 0.98
+    if rho >= 0.85:
+        assert result.improvement > 1.05

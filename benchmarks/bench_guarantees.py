@@ -1,0 +1,44 @@
+"""Guarantee-validation benches: the (epsilon, p) and delta semantics.
+
+The paper defines the fixed-precision semantics (Section II) but never
+measures them directly; these benches do:
+
+* empirical confidence coverage >= p (minus sampling slack) for both
+  evaluators;
+* drift-violation rate on steps PRED-3 skipped stays small.
+"""
+
+import pytest
+from conftest import bench_seed
+
+from repro.experiments import guarantees
+
+
+@pytest.mark.parametrize("evaluator", ["independent", "repeated"])
+def test_coverage(benchmark, record_table, evaluator):
+    result = benchmark.pedantic(
+        guarantees.coverage,
+        kwargs={
+            "evaluator": evaluator,
+            "scale": 0.08,
+            "trials": 5,
+            "steps_per_trial": 30,
+            "seed": bench_seed(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(f"coverage_{evaluator}", result.to_table())
+    assert result.coverage >= result.confidence - 0.1
+
+
+def test_resolution(benchmark, record_table):
+    result = benchmark.pedantic(
+        guarantees.resolution,
+        kwargs={"scale": 0.08, "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("resolution", result.to_table())
+    assert result.skipped_steps > 0
+    assert result.violation_rate <= 0.25

@@ -1,0 +1,29 @@
+"""Protocol-level validation bench.
+
+Executes the sampling walk as a real message protocol (per-hop latency,
+local-only handlers) and checks:
+
+* both realizable variants sample the matrix-predicted target;
+* the abstract one-message-per-proposal cost model is bracketed by the
+  cached (rejections free, advertisements paid) and bounce (rejections
+  cost an extra message) protocols.
+"""
+
+from conftest import bench_seed
+
+from repro.experiments import protocol_validation
+
+
+def test_protocol_validation(benchmark, record_table):
+    result = benchmark.pedantic(
+        protocol_validation.run,
+        kwargs={"seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("protocol_validation", result.to_table())
+    costs = {row.variant: row.walk_messages_per_walk for row in result.rows}
+    assert costs["cached"] <= result.abstract_messages_per_walk
+    assert result.abstract_messages_per_walk <= costs["bounce"]
+    for row in result.rows:
+        assert row.tv_distance < 0.12

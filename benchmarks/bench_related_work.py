@@ -1,0 +1,39 @@
+"""Related-work benches: measuring the Section VII claims.
+
+* gossip (push-sum) is only justified when many nodes query
+  simultaneously — the crossover K* is reported;
+* TAG tree aggregation degrades with churn while Digest's sampling error
+  does not.
+"""
+
+from conftest import bench_seed
+
+from repro.experiments import related_work
+
+
+def test_gossip_crossover(benchmark, record_table):
+    result = benchmark.pedantic(
+        related_work.gossip_crossover,
+        kwargs={"scale": 0.3, "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("gossip_crossover", result.to_table())
+    assert result.digest_messages_per_querier < result.gossip_messages_per_snapshot
+    assert result.crossover > 1.0
+
+
+def test_tag_vs_churn(benchmark, record_table):
+    result = benchmark.pedantic(
+        related_work.tag_vs_churn,
+        kwargs={"scale": 0.15, "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("tag_vs_churn", result.to_table())
+    rows = result.rows
+    assert rows[0].tree_mae < 1e-9  # exact in a static world
+    assert rows[-1].tree_mae > rows[0].tree_mae  # degrades with churn
+    assert rows[-1].mean_lost_fraction > 0.2  # severe fragmentation
+    for row in rows:
+        assert row.digest_mae <= 2 * result.epsilon  # Digest unaffected

@@ -1,0 +1,33 @@
+"""E5 / Table 1: Monte-Carlo verification of the estimator variances.
+
+Checks the closed forms for the regular, regression and combined
+estimators (Table 1 / Eq. 8) and the optimal-partition minimum variance
+(Eq. 10) against simulation, across three correlation levels.
+"""
+
+import pytest
+from conftest import bench_seed
+
+from repro.core.repeated import minimum_variance
+from repro.experiments import table1
+
+
+@pytest.mark.parametrize("rho", [0.5, 0.85, 0.95])
+def test_table1(benchmark, record_table, rho):
+    result = benchmark.pedantic(
+        table1.simulate,
+        kwargs={"rho": rho, "trials": 3000, "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    eq10 = minimum_variance(result.sigma2, result.n, rho)
+    table = (
+        result.to_table()
+        + f"\nEq. 10 minimum variance: {eq10:.5f} "
+        f"(empirical combined: {result.empirical['combined']:.5f})"
+    )
+    record_table(f"table1_rho{rho}", table)
+
+    for name, empirical in result.empirical.items():
+        assert empirical == pytest.approx(result.theoretical[name], rel=0.2), name
+    assert result.empirical["combined"] == pytest.approx(eq10, rel=0.2)

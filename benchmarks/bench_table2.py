@@ -1,0 +1,25 @@
+"""E6 / Table II: dataset parameters — calibration of the generators.
+
+Measures node/unit/update counts, the lag-1 correlation rho and the
+cross-sectional sigma of both synthetic workloads against the published
+Table II row. Counts scale with REPRO_BENCH_SCALE (exact match at 1.0);
+rho and sigma must match at any scale.
+"""
+
+import pytest
+from conftest import bench_scale, bench_seed
+
+from repro.experiments import table2
+
+
+@pytest.mark.parametrize("dataset", ["temperature", "memory"])
+def test_table2(benchmark, record_table, dataset):
+    result = benchmark.pedantic(
+        table2.run,
+        kwargs={"dataset": dataset, "scale": bench_scale(), "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(f"table2_{dataset}", result.to_table())
+    assert result.measured_rho == pytest.approx(result.paper_rho, abs=0.08)
+    assert result.measured_sigma == pytest.approx(result.paper_sigma, rel=0.15)

@@ -1,0 +1,124 @@
+"""Aggregate saved benchmark tables into a single RESULTS.md.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only      # populates benchmarks/results/
+    python benchmarks/collect_results.py     # writes RESULTS.md at repo root
+
+Sections are ordered to mirror EXPERIMENTS.md: paper artifacts first,
+then guarantee validation, then extensions and ablations.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+OUTPUT = Path(__file__).parent.parent / "RESULTS.md"
+
+SECTIONS: list[tuple[str, list[str]]] = [
+    (
+        "Paper artifacts",
+        [
+            "fig4a",
+            "fig4b_temperature",
+            "fig4b_memory",
+            "fig4b_ordering",
+            "fig5a_temperature",
+            "fig5a_memory",
+            "fig5b",
+            "table1_rho0.5",
+            "table1_rho0.85",
+            "table1_rho0.95",
+            "table2_temperature",
+            "table2_memory",
+            "mixing_scaling",
+            "mixing_paper_scale",
+        ],
+    ),
+    (
+        "Guarantee validation",
+        ["coverage_independent", "coverage_repeated", "resolution"],
+    ),
+    (
+        "Extensions",
+        [
+            "analysis_improvement",
+            "forward_rho0.5",
+            "forward_rho0.85",
+            "forward_rho0.95",
+            "gossip_crossover",
+            "tag_vs_churn",
+            "occasion_drift",
+            "churn_robustness",
+            "protocol_validation",
+        ],
+    ),
+    (
+        "Ablations",
+        [
+            "ablation_laziness",
+            "ablation_continued_walks",
+            "ablation_cluster",
+            "ablation_replacement",
+            "ablation_importance",
+        ],
+    ),
+]
+
+
+def collect() -> str:
+    lines = [
+        "# RESULTS — regenerated benchmark tables",
+        "",
+        "Produced by `pytest benchmarks/ --benchmark-only` followed by",
+        "`python benchmarks/collect_results.py`. See EXPERIMENTS.md for the",
+        "paper-vs-measured discussion of each table.",
+        "",
+    ]
+    seen: set[str] = set()
+    for title, names in SECTIONS:
+        section_lines: list[str] = []
+        for name in names:
+            path = RESULTS_DIR / f"{name}.txt"
+            if path.exists():
+                seen.add(name)
+                section_lines.append("```")
+                section_lines.append(path.read_text().rstrip())
+                section_lines.append("```")
+                section_lines.append("")
+        if section_lines:
+            lines.append(f"## {title}")
+            lines.append("")
+            lines.extend(section_lines)
+    # anything saved but not explicitly ordered
+    extras = sorted(
+        p.stem for p in RESULTS_DIR.glob("*.txt") if p.stem not in seen
+    )
+    if extras:
+        lines.append("## Other")
+        lines.append("")
+        for name in extras:
+            lines.append("```")
+            lines.append((RESULTS_DIR / f"{name}.txt").read_text().rstrip())
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    if not RESULTS_DIR.exists():
+        print(
+            "no benchmarks/results/ directory; run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    OUTPUT.write_text(collect())
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

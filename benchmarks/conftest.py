@@ -1,0 +1,46 @@
+"""Benchmark configuration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload scale factor for the figure benches
+  (default 0.1; 1.0 = the paper's full published sizes).
+* ``REPRO_BENCH_SEED`` — RNG seed (default 0).
+
+Each figure bench writes its rendered table to ``benchmarks/results/`` so
+the regenerated paper artifacts survive the pytest output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale(default: float = 0.1) -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", 0))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Write a rendered experiment table to the results directory."""
+
+    def write(name: str, table: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(table + "\n")
+        print(f"\n{table}\n[table saved to {path}]")
+
+    return write

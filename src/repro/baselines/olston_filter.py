@@ -1,0 +1,204 @@
+"""``ALL + FILTER``: adaptive-filter push baseline (Olston et al., SIGMOD'03).
+
+Each data object (tuple) ``o`` carries a *filter window* of width ``W_o``
+centered on its last reported value; the hosting node pushes a new value to
+the querying node only when it escapes the window. For an AVG over ``N``
+objects the answer's worst-case error is ``(1/N) * sum_o W_o / 2``, so the
+total width budget ``sum_o W_o = 2 * epsilon_bound * N`` guarantees a
+``+/- epsilon_bound`` precision interval — the paper configures the
+user-defined interval so ``H - L < 2 epsilon``, making the comparison with
+Digest's ``(epsilon, p)`` fair.
+
+Width adaptation follows the original design: periodically every window
+*shrinks* by a fixed fraction (a deterministic schedule each node applies
+autonomously — no message), and the coordinator redistributes the freed
+budget to the objects that streamed updates during the period (*growth*
+messages, one per grown object, costed at the overlay hop distance).
+
+Churn handling: a new tuple starts with the default width (the budget is
+per-object, so precision is preserved as ``N`` changes); deleted tuples
+surrender their width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.query import Query
+from repro.core.result import RunningResult, UpdateRecord
+from repro.db.aggregates import AggregateOp, estimate_from_mean
+from repro.db.relation import P2PDatabase
+from repro.errors import QueryError
+from repro.network.graph import OverlayGraph
+from repro.network.messaging import MessageLedger
+from repro.sim.metrics import RunMetrics
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """Adaptive-filter tuning.
+
+    ``epsilon_bound`` is the guaranteed half-width of the answer's
+    precision interval (set it to the competing query's ``epsilon``).
+    ``adjustment_period`` steps separate reallocations; each reallocation
+    shrinks every window by ``shrink_fraction`` and regrows the freed
+    budget across the objects that pushed during the period.
+    """
+
+    epsilon_bound: float
+    adjustment_period: int = 8
+    shrink_fraction: float = 0.05
+    min_width_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.epsilon_bound <= 0:
+            raise QueryError(
+                f"epsilon_bound must be > 0, got {self.epsilon_bound}"
+            )
+        if self.adjustment_period < 1:
+            raise QueryError(
+                f"adjustment_period must be >= 1, got {self.adjustment_period}"
+            )
+        if not 0.0 <= self.shrink_fraction < 1.0:
+            raise QueryError(
+                f"shrink_fraction must be in [0, 1), got {self.shrink_fraction}"
+            )
+
+
+class OlstonFilterBaseline:
+    """Continuous AVG evaluation with adaptive per-object filters."""
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        database: P2PDatabase,
+        query: Query,
+        origin: int,
+        config: FilterConfig,
+        ledger: MessageLedger | None = None,
+    ):
+        if query.op is not AggregateOp.AVG:
+            raise QueryError(
+                "the filter baseline implements AVG (the paper's comparison "
+                f"query); got {query.op.value}"
+            )
+        if query.predicate is not None:
+            raise QueryError(
+                "the filter baseline implements unfiltered AVG (per-object "
+                "bound widths have no precision semantics under a predicate)"
+            )
+        if origin not in graph:
+            raise QueryError(f"querying node {origin} is not in the overlay")
+        database.schema.validate_expression(query.expression)
+        self._graph = graph
+        self._database = database
+        self._query = query
+        self._origin = origin
+        self._config = config
+        self.ledger = ledger if ledger is not None else MessageLedger()
+        self.metrics = RunMetrics()
+        self.result = RunningResult()
+        self._default_width = 2.0 * config.epsilon_bound
+        self._reported: dict[int, float] = {}
+        self._widths: dict[int, float] = {}
+        self._update_counts: dict[int, int] = {}
+        self.total_pushes = 0
+        self.reallocations = 0
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        """Initial full report: every object registers its value and width.
+
+        Counted as pushes (the system cannot answer before it has seen
+        every object once); this matches the one-time setup cost of the
+        filter scheme.
+        """
+        distances = self._graph.hop_distances(self._origin)
+        expression = self._query.expression
+        for tuple_id, node, row in self._database.iter_tuples():
+            self._reported[tuple_id] = expression.evaluate(row)
+            self._widths[tuple_id] = self._default_width
+            self._update_counts[tuple_id] = 0
+            if node != self._origin:
+                self.ledger.record_push(distances.get(node, 0))
+                self.total_pushes += 1
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def step(self, time: int) -> float:
+        """One step: collect filter violations, maybe reallocate, answer."""
+        distances = self._graph.hop_distances(self._origin)
+        expression = self._query.expression
+        live: set[int] = set()
+        for tuple_id, node, row in self._database.iter_tuples():
+            live.add(tuple_id)
+            value = expression.evaluate(row)
+            reported = self._reported.get(tuple_id)
+            if reported is None:
+                # churn brought a new object: register with default width
+                self._reported[tuple_id] = value
+                self._widths[tuple_id] = self._default_width
+                self._update_counts[tuple_id] = 1
+                if node != self._origin:
+                    self.ledger.record_push(distances.get(node, 0))
+                    self.total_pushes += 1
+                continue
+            if abs(value - reported) > self._widths[tuple_id] / 2.0:
+                self._reported[tuple_id] = value
+                self._update_counts[tuple_id] += 1
+                if node != self._origin:
+                    self.ledger.record_push(distances.get(node, 0))
+                    self.total_pushes += 1
+        for tuple_id in list(self._reported):
+            if tuple_id not in live:
+                del self._reported[tuple_id]
+                del self._widths[tuple_id]
+                self._update_counts.pop(tuple_id, None)
+        if time > 0 and time % self._config.adjustment_period == 0:
+            self._reallocate(distances)
+        aggregate = self._answer()
+        self.result.update(UpdateRecord(time=time, estimate=aggregate))
+        self.metrics.snapshot_queries += 1
+        return aggregate
+
+    def _reallocate(self, distances: dict[int, int]) -> None:
+        """Shrink every window; regrow the freed budget on streaming objects."""
+        config = self._config
+        min_width = self._default_width * config.min_width_fraction
+        freed = 0.0
+        for tuple_id, width in self._widths.items():
+            shrunk = max(min_width, width * (1.0 - config.shrink_fraction))
+            freed += width - shrunk
+            self._widths[tuple_id] = shrunk
+        streamers = [t for t, count in self._update_counts.items() if count > 0]
+        if streamers and freed > 0:
+            total_updates = sum(self._update_counts[t] for t in streamers)
+            for tuple_id in streamers:
+                share = freed * self._update_counts[tuple_id] / total_updates
+                self._widths[tuple_id] += share
+                node = self._database.locate(tuple_id)
+                if node is not None and node != self._origin:
+                    # growth notification travels to the hosting node
+                    self.ledger.record_control(
+                        distances.get(node, 0), label="filter_growth"
+                    )
+        self._update_counts = {t: 0 for t in self._widths}
+        self.reallocations += 1
+
+    def _answer(self) -> float:
+        if not self._reported:
+            raise QueryError("no objects registered; relation is empty")
+        mean = float(np.mean(list(self._reported.values())))
+        return estimate_from_mean(
+            self._query.op, mean, self._database.n_tuples
+        )
+
+    def guaranteed_half_width(self) -> float:
+        """Current worst-case answer error ``(1/N) sum W_o / 2``."""
+        if not self._widths:
+            return 0.0
+        return float(np.mean(list(self._widths.values()))) / 2.0

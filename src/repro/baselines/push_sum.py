@@ -1,0 +1,141 @@
+"""Push-sum gossip aggregation (Kempe et al., the paper's refs [4]/[8]).
+
+The in-network alternative Digest's related work discusses: every node
+``i`` holds a pair ``(s_i, w_i)`` initialized to its local contribution
+(``s_i`` = sum of its tuples' expression values, ``w_i`` = its tuple
+count). Each round every node keeps half of its pair and sends the other
+half to a uniformly random neighbor; every node's running ratio
+``s_i / w_i`` converges exponentially to the global average
+``sum(values) / N``.
+
+Cost model: one message per node per round (each node sends one share),
+so a snapshot costs ``N * rounds`` messages — but the answer materializes
+at *every* node. The paper's claim, which
+:mod:`repro.experiments.related_work` measures, is that this overhead "is
+only justified when all nodes of the network issue the same aggregate
+query simultaneously": per-querier, gossip costs ``N * rounds / K`` for
+``K`` simultaneous queriers while Digest costs ``K``-independent
+per-querier sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.query import Query
+from repro.db.aggregates import AggregateOp
+from repro.db.relation import P2PDatabase
+from repro.errors import QueryError
+from repro.network.graph import OverlayGraph
+from repro.network.messaging import MessageLedger
+
+
+@dataclass
+class PushSumRun:
+    """Outcome of one gossip execution."""
+
+    estimate: float  # the ratio at the querying node
+    rounds: int
+    messages: int
+    max_disagreement: float  # spread of node estimates at termination
+
+
+class PushSumBaseline:
+    """Snapshot AVG evaluation by push-sum gossip.
+
+    Each :meth:`run_snapshot` executes a fresh gossip from the current
+    database state (the algorithm has no incremental variant; continuous
+    queries re-run it per snapshot, which is exactly the cost profile the
+    paper criticizes).
+    """
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        database: P2PDatabase,
+        query: Query,
+        origin: int,
+        rng: np.random.Generator,
+        ledger: MessageLedger | None = None,
+        tolerance: float = 1e-3,
+        max_rounds: int = 10_000,
+    ):
+        if query.op is not AggregateOp.AVG:
+            raise QueryError(
+                f"push-sum computes AVG; got {query.op.value} "
+                "(SUM/COUNT need a size estimate on top)"
+            )
+        if query.predicate is not None:
+            raise QueryError("push-sum baseline does not support predicates")
+        if origin not in graph:
+            raise QueryError(f"querying node {origin} is not in the overlay")
+        if tolerance <= 0:
+            raise QueryError(f"tolerance must be > 0, got {tolerance}")
+        database.schema.validate_expression(query.expression)
+        self._graph = graph
+        self._database = database
+        self._query = query
+        self._origin = origin
+        self._rng = rng
+        self.ledger = ledger if ledger is not None else MessageLedger()
+        self._tolerance = tolerance
+        self._max_rounds = max_rounds
+
+    def run_snapshot(self) -> PushSumRun:
+        """One full gossip: returns the converged estimate at the origin."""
+        nodes = self._graph.nodes()
+        if not nodes:
+            raise QueryError("empty overlay")
+        index_of = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        sums = np.zeros(n)
+        weights = np.zeros(n)
+        expression = self._query.expression
+        for i, node in enumerate(nodes):
+            store = self._database.store(node)
+            if len(store):
+                sums[i] = float(
+                    expression.evaluate_columns(store.columns()).sum()
+                )
+                weights[i] = float(len(store))
+        if weights.sum() == 0:
+            raise QueryError("relation is empty")
+        # every node must start with positive mass for the ratio to be
+        # defined everywhere; give empty nodes weight epsilon of the mass
+        # conservation is preserved by construction (we add nothing)
+        messages = 0
+        neighbor_lists = [self._graph.neighbors(node) for node in nodes]
+        for round_index in range(1, self._max_rounds + 1):
+            new_sums = sums * 0.5
+            new_weights = weights * 0.5
+            targets = [
+                index_of[neighbors[int(self._rng.integers(len(neighbors)))]]
+                for neighbors in neighbor_lists
+            ]
+            for i, target in enumerate(targets):
+                new_sums[target] += sums[i] * 0.5
+                new_weights[target] += weights[i] * 0.5
+            sums, weights = new_sums, new_weights
+            messages += n
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(weights > 0, sums / np.maximum(weights, 1e-300), 0.0)
+            live = ratios[weights > 1e-12]
+            spread = float(live.max() - live.min()) if live.size else float("inf")
+            scale = max(1.0, abs(float(live.mean()))) if live.size else 1.0
+            if spread <= self._tolerance * scale:
+                break
+        self.ledger.record_control(messages, label="gossip")
+        i_origin = index_of[self._origin]
+        estimate = (
+            float(sums[i_origin] / weights[i_origin])
+            if weights[i_origin] > 1e-12
+            else float(live.mean())
+        )
+        return PushSumRun(
+            estimate=estimate,
+            rounds=round_index,
+            messages=messages,
+            max_disagreement=spread,
+        )

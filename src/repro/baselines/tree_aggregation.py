@@ -1,0 +1,162 @@
+"""TAG-style tree aggregation (Madden et al., the paper's ref [15]).
+
+In-network aggregation over a spanning tree rooted at the querying node:
+every node sends one partial aggregate ``(sum, count)`` to its parent per
+epoch, so a snapshot costs only ~``N`` single-hop messages — far cheaper
+than push-everything. The catch the paper points out: "with its
+tree-based aggregation scheme, it is prone to severe miscalculations due
+to frequent fragmentation ... specially in the dynamic peer-to-peer
+databases". When a node departs, its entire *subtree* is cut off from the
+root until the tree is rebuilt, and the aggregate silently excludes all
+of it.
+
+This implementation makes that failure mode measurable: the tree is
+rebuilt every ``rebuild_interval`` steps (a rebuild costs one flood, ~2
+messages per overlay edge); between rebuilds, contributions of nodes
+whose tree path to the root is broken are lost.
+:func:`repro.experiments.related_work.tag_vs_churn` quantifies the
+resulting error against churn rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.query import Query
+from repro.core.result import RunningResult, UpdateRecord
+from repro.db.aggregates import AggregateOp
+from repro.db.relation import P2PDatabase
+from repro.errors import QueryError
+from repro.network.graph import OverlayGraph
+from repro.network.messaging import MessageLedger
+from repro.sim.metrics import RunMetrics
+
+
+@dataclass
+class TreeSnapshot:
+    """One epoch's outcome: the (possibly truncated) aggregate."""
+
+    estimate: float
+    nodes_included: int
+    nodes_lost: int  # alive nodes whose path to the root is broken
+
+
+class TreeAggregationBaseline:
+    """Continuous AVG via a (periodically rebuilt) aggregation tree."""
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        database: P2PDatabase,
+        query: Query,
+        origin: int,
+        rebuild_interval: int = 16,
+        ledger: MessageLedger | None = None,
+    ):
+        if query.op is not AggregateOp.AVG:
+            raise QueryError(
+                f"the tree baseline implements AVG; got {query.op.value}"
+            )
+        if query.predicate is not None:
+            raise QueryError("the tree baseline does not support predicates")
+        if origin not in graph:
+            raise QueryError(f"querying node {origin} is not in the overlay")
+        if rebuild_interval < 1:
+            raise QueryError(
+                f"rebuild_interval must be >= 1, got {rebuild_interval}"
+            )
+        database.schema.validate_expression(query.expression)
+        self._graph = graph
+        self._database = database
+        self._query = query
+        self._origin = origin
+        self._rebuild_interval = rebuild_interval
+        self.ledger = ledger if ledger is not None else MessageLedger()
+        self.metrics = RunMetrics()
+        self.result = RunningResult()
+        self._parent: dict[int, int | None] = {}
+        self._last_rebuild: int | None = None
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # tree maintenance
+    # ------------------------------------------------------------------
+
+    def _rebuild_tree(self) -> None:
+        """BFS spanning tree from the root; flood costs ~2 msgs per edge."""
+        parent: dict[int, int | None] = {self._origin: None}
+        frontier = deque([self._origin])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in self._graph.neighbors(node):
+                if neighbor not in parent:
+                    parent[neighbor] = node
+                    frontier.append(neighbor)
+        self._parent = parent
+        self.ledger.record_control(
+            2 * self._graph.n_edges(), label="tree_rebuild"
+        )
+        self.rebuilds += 1
+
+    def _included_nodes(self) -> tuple[list[int], int]:
+        """Nodes whose whole path to the root still exists.
+
+        Departed ancestors orphan entire subtrees — the TAG fragility the
+        experiment measures. Returns (included, lost_alive_count).
+        """
+        reachable: dict[int, bool] = {self._origin: self._origin in self._graph}
+
+        def path_intact(node: int) -> bool:
+            cached = reachable.get(node)
+            if cached is not None:
+                return cached
+            if node not in self._graph or node not in self._parent:
+                reachable[node] = False
+                return False
+            parent = self._parent[node]
+            ok = parent is not None and path_intact(parent)
+            reachable[node] = ok
+            return ok
+
+        included = []
+        lost = 0
+        for node in self._graph.nodes():
+            if node == self._origin or path_intact(node):
+                included.append(node)
+            else:
+                lost += 1
+        return included, lost
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def step(self, time: int) -> TreeSnapshot:
+        """One epoch: (maybe) rebuild, then aggregate up the tree."""
+        if (
+            self._last_rebuild is None
+            or time - self._last_rebuild >= self._rebuild_interval
+        ):
+            self._rebuild_tree()
+            self._last_rebuild = time
+        included, lost = self._included_nodes()
+        expression = self._query.expression
+        total = 0.0
+        count = 0
+        for node in included:
+            store = self._database.store(node)
+            if len(store):
+                total += float(expression.evaluate_columns(store.columns()).sum())
+                count += len(store)
+            if node != self._origin:
+                # one partial-aggregate message to the parent (one hop)
+                self.ledger.record_push(1)
+        if count == 0:
+            raise QueryError("no reachable tuples; tree fully fragmented")
+        estimate = total / count
+        self.result.update(UpdateRecord(time=time, estimate=estimate))
+        self.metrics.snapshot_queries += 1
+        return TreeSnapshot(
+            estimate=estimate, nodes_included=len(included), nodes_lost=lost
+        )

@@ -1,0 +1,304 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-digest experiment <name> [--scale S] [--seed N]
+        Run a named paper experiment (fig4a, fig4b, fig5a, fig5b, table1,
+        table2, mixing, ablations, forward) and print its tables.
+
+    repro-digest query --query "SELECT AVG(temperature) FROM R" \\
+        [--dataset temperature] [--delta D] [--epsilon E] [--confidence P]
+        [--steps T] [--scale S] [--seed N] [--scheduler pred|all]
+        [--evaluator repeated|independent]
+        Run an ad-hoc continuous query against a synthetic workload and
+        print each result update.
+
+    repro-digest trace record --output trace.jsonl [--dataset ...] [...]
+    repro-digest trace replay --input trace.jsonl --query "..."  [...]
+        Record a workload into the portable trace format / replay one.
+
+Also runnable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=("temperature", "memory"),
+        default="temperature",
+        help="synthetic workload (default: temperature)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="workload scale factor; 1.0 = the paper's sizes (default 0.1)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-digest",
+        description=(
+            "Digest: fixed-precision approximate continuous aggregate "
+            "queries in P2P databases (ICDE 2008 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    experiment = commands.add_parser(
+        "experiment", help="run a named paper experiment"
+    )
+    experiment.add_argument(
+        "name",
+        choices=(
+            "fig4a",
+            "fig4b",
+            "fig5a",
+            "fig5b",
+            "table1",
+            "table2",
+            "mixing",
+            "ablations",
+            "forward",
+            "guarantees",
+            "related_work",
+            "occasion_drift",
+            "protocol",
+        ),
+    )
+    _add_common(experiment)
+
+    query = commands.add_parser("query", help="run an ad-hoc continuous query")
+    query.add_argument(
+        "--query",
+        required=True,
+        help='e.g. "SELECT AVG(temperature) FROM R WHERE temperature > 50"',
+    )
+    query.add_argument("--delta", type=float, default=None)
+    query.add_argument("--epsilon", type=float, default=None)
+    query.add_argument("--confidence", type=float, default=0.95)
+    query.add_argument("--steps", type=int, default=None)
+    query.add_argument("--scheduler", choices=("pred", "all"), default="pred")
+    query.add_argument(
+        "--evaluator", choices=("repeated", "independent"), default="repeated"
+    )
+    _add_common(query)
+
+    trace = commands.add_parser("trace", help="record or replay a trace")
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    record = trace_commands.add_parser("record", help="record a workload")
+    record.add_argument("--output", required=True)
+    record.add_argument("--steps", type=int, default=None)
+    _add_common(record)
+    replay = trace_commands.add_parser("replay", help="replay + query a trace")
+    replay.add_argument("--input", required=True)
+    replay.add_argument("--query", required=True)
+    replay.add_argument("--delta", type=float, default=None)
+    replay.add_argument("--epsilon", type=float, default=None)
+    replay.add_argument("--confidence", type=float, default=0.95)
+    replay.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ablations,
+        fig4a,
+        fig4b,
+        fig5a,
+        fig5b,
+        forward,
+        mixing,
+        table1,
+        table2,
+    )
+
+    name = args.name
+    if name == "fig4a":
+        print(fig4a.run(dataset=args.dataset, scale=args.scale, seed=args.seed).to_table())
+    elif name == "fig4b":
+        result = fig4b.run(dataset=args.dataset, scale=args.scale, seed=args.seed)
+        print(result.to_table())
+        print(f"average improvement factor I = {result.improvement_factor:.2f}")
+    elif name == "fig5a":
+        result = fig5a.run(dataset=args.dataset, scale=args.scale, seed=args.seed)
+        print(result.to_table())
+        print(f"Digest vs naive = {result.digest_vs_naive:.2f}x")
+    elif name == "fig5b":
+        print(fig5b.run(dataset=args.dataset, scale=max(args.scale, 0.25), seed=args.seed).to_table())
+    elif name == "table1":
+        for rho in (0.5, 0.85, 0.95):
+            print(table1.simulate(rho=rho, seed=args.seed).to_table())
+            print()
+    elif name == "table2":
+        print(table2.run(dataset=args.dataset, scale=args.scale, seed=args.seed).to_table())
+    elif name == "mixing":
+        print(mixing.run(seed=args.seed).to_table())
+    elif name == "ablations":
+        ablations.main()
+    elif name == "forward":
+        forward.main()
+    elif name == "guarantees":
+        from repro.experiments import guarantees
+
+        guarantees.main()
+    elif name == "related_work":
+        from repro.experiments import related_work
+
+        related_work.main()
+    elif name == "occasion_drift":
+        from repro.experiments import occasion_drift
+
+        occasion_drift.main()
+    elif name == "protocol":
+        from repro.experiments import protocol_validation
+
+        protocol_validation.main()
+    return 0
+
+
+def _default_precision(instance, delta, epsilon):
+    sigma = getattr(instance.config, "expected_sigma", 1.0)
+    if delta is None:
+        delta = sigma
+    if epsilon is None:
+        epsilon = 0.25 * sigma
+    return delta, epsilon
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    from repro.core.engine import DigestEngine, EngineConfig
+    from repro.core.query import ContinuousQuery, Precision, parse_query
+    from repro.experiments.harness import build_instance, pick_origin
+
+    from repro.db.aggregates import AggregateOp
+
+    instance = build_instance(args.dataset, args.scale, args.seed)
+    steps = args.steps if args.steps is not None else instance.n_steps
+    delta, epsilon = _default_precision(instance, args.delta, args.epsilon)
+    query = parse_query(args.query)
+    evaluator = args.evaluator
+    if (
+        evaluator == "repeated"
+        and query.op is AggregateOp.AVG
+        and query.predicate is not None
+    ):
+        print(
+            "note: filtered AVG needs the ratio estimator; "
+            "falling back to evaluator=independent"
+        )
+        evaluator = "independent"
+    continuous = ContinuousQuery(
+        query,
+        Precision(delta=delta, epsilon=epsilon, confidence=args.confidence),
+        duration=steps,
+    )
+    origin = pick_origin(instance, args.seed)
+    engine = DigestEngine(
+        instance.graph,
+        instance.database,
+        continuous,
+        origin=origin,
+        rng=np.random.default_rng(args.seed + 1),
+        config=EngineConfig(scheduler=args.scheduler, evaluator=evaluator),
+    )
+    print(f"running: {continuous}")
+    print(f"workload: {args.dataset} (scale {args.scale}), {steps} steps\n")
+    for t in range(steps):
+        instance.step(t)
+        estimate = engine.step(t)
+        if estimate is not None:
+            print(
+                f"t={t:4d}  estimate={estimate.aggregate:12.3f}  "
+                f"samples={estimate.n_total:4d} (fresh {estimate.n_fresh:4d})"
+            )
+    metrics = engine.metrics
+    print(
+        f"\n{metrics.snapshot_queries} snapshot queries, "
+        f"{metrics.samples_total} samples "
+        f"({metrics.samples_fresh} fresh), {engine.ledger.total} messages"
+    )
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        from repro.datasets.traces import TraceRecorder
+        from repro.experiments.harness import build_instance
+
+        instance = build_instance(args.dataset, args.scale, args.seed)
+        steps = args.steps if args.steps is not None else instance.n_steps
+        recorder = TraceRecorder(instance)
+        for t in range(steps):
+            instance.step(t)
+            recorder.observe(t)
+        trace = recorder.finish()
+        trace.save(args.output)
+        print(
+            f"recorded {len(trace.events)} events over {trace.n_steps} steps "
+            f"to {args.output}"
+        )
+        return 0
+
+    # replay
+    from repro.core.engine import DigestEngine, EngineConfig
+    from repro.core.query import ContinuousQuery, Precision, parse_query
+    from repro.datasets.traces import Trace, replay_trace
+
+    trace = Trace.load(args.input)
+    instance = replay_trace(trace)
+    delta = args.delta if args.delta is not None else 1.0
+    epsilon = args.epsilon if args.epsilon is not None else 1.0
+    continuous = ContinuousQuery(
+        parse_query(args.query),
+        Precision(delta=delta, epsilon=epsilon, confidence=args.confidence),
+        duration=trace.n_steps,
+    )
+    origin = instance.graph.nodes()[0]
+    engine = DigestEngine(
+        instance.graph,
+        instance.database,
+        continuous,
+        origin=origin,
+        rng=np.random.default_rng(args.seed),
+    )
+    executed = 0
+    for t in range(trace.n_steps):
+        instance.step(t)
+        if engine.step(t) is not None:
+            executed += 1
+    if len(engine.result):
+        print(
+            f"replayed {trace.n_steps} steps: {executed} snapshot queries, "
+            f"final estimate {engine.result.last().estimate:.3f}"
+        )
+    else:
+        print(f"replayed {trace.n_steps} steps: no snapshot executed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    if args.command == "query":
+        return _run_query(args)
+    return _run_trace(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Analytical properties of the repeated-sampling recursion.
+
+The paper analyzes the 2nd occasion in closed form (Eq. 8-11) and defers
+the k-th occasion to an extended version. This module completes that
+analysis for our implemented recursion (see :mod:`repro.core.repeated`):
+
+At occasion ``k`` with budget ``n`` and matched portion ``g``::
+
+    var_k(g) = 1 / ( (n-g)/sigma^2 + g / (sigma^2 (1-rho^2) + g rho^2 v_{k-1}) )
+
+Iterating with the per-occasion optimal ``g`` drives ``v_k`` to a fixed
+point ``v*`` that is *strictly below* the second-occasion minimum
+(Eq. 10): regressing against an already-sharpened previous estimate is
+better than regressing against a fresh one. This is why the measured
+improvement factors (paper: 1.63 at rho = 0.89) exceed the one-step bound
+``2 / (1 + sqrt(1 - rho^2))`` (= 1.37 at rho = 0.89): the recursion
+compounds.
+
+Functions here compute the fixed point and the steady-state improvement
+factor; the tests validate them against long simulated runs of the
+evaluator, and the docs use them to reconcile measured vs. one-step
+numbers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.repeated import _best_partition
+from repro.errors import QueryError
+
+
+def occasion_variance(
+    sigma2: float, n: int, rho: float, previous_variance: float
+) -> float:
+    """Best achievable variance at one occasion given the previous one."""
+    _, variance = _best_partition(
+        sigma2, n, rho, previous_variance, retained_available=n
+    )
+    return variance
+
+
+def steady_state_variance(
+    sigma2: float,
+    n: int,
+    rho: float,
+    tolerance: float = 1e-12,
+    max_iterations: int = 10_000,
+) -> float:
+    """Fixed point ``v*`` of the optimally-partitioned recursion.
+
+    Starts from the independent-sampling variance ``sigma^2 / n`` (the
+    bootstrap occasion) and iterates; the map is monotone and bounded
+    below, so it converges. Raises only on invalid inputs.
+    """
+    if sigma2 < 0:
+        raise QueryError(f"sigma^2 must be >= 0, got {sigma2}")
+    if n < 1:
+        raise QueryError(f"n must be >= 1, got {n}")
+    if not -1.0 <= rho <= 1.0:
+        raise QueryError(f"rho must be in [-1, 1], got {rho}")
+    if sigma2 == 0.0:
+        return 0.0
+    variance = sigma2 / n
+    for _ in range(max_iterations):
+        following = occasion_variance(sigma2, n, rho, variance)
+        if abs(following - variance) <= tolerance * max(variance, 1e-300):
+            return following
+        variance = following
+    return variance
+
+
+def steady_state_improvement(rho: float, n: int = 1000) -> float:
+    """Steady-state variance ratio ``(sigma^2/n) / v*``.
+
+    The per-occasion *sample-count* improvement of repeated over
+    independent sampling at a fixed variance target equals this ratio
+    (sample counts scale inversely with achievable variance). Compare
+    with the paper's measured I = 1.63 at rho ~= 0.89, which sits between
+    the one-step factor 1.37 and this steady-state bound.
+    """
+    v_star = steady_state_variance(1.0, n, rho)
+    if v_star <= 0:
+        return float("inf")
+    return (1.0 / n) / v_star
+
+
+def one_step_improvement(rho: float) -> float:
+    """Eq. 11's second-occasion improvement ``2 / (1 + sqrt(1 - rho^2))``."""
+    if not -1.0 <= rho <= 1.0:
+        raise QueryError(f"rho must be in [-1, 1], got {rho}")
+    return 2.0 / (1.0 + math.sqrt(max(0.0, 1.0 - rho * rho)))

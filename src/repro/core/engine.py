@@ -1,0 +1,256 @@
+"""The Digest engine: both tiers composed (Section III).
+
+:class:`DigestEngine` runs one fixed-precision approximate continuous
+aggregate query at one (querying) node: the continual-querying scheduler
+decides *when* to run snapshot queries, the snapshot evaluator decides *how
+many* samples each needs, and the sampling operator supplies the samples.
+Every algorithm combination of the paper's evaluation is a configuration:
+
+=============  ======================  =========================
+Paper name     scheduler               evaluator
+=============  ======================  =========================
+ALL + INDEP    ``"all"``               ``"independent"``
+ALL + RPT      ``"all"``               ``"repeated"``
+PRED-k + INDEP ``"pred"`` (k points)   ``"independent"``
+PRED-k + RPT   ``"pred"`` (k points)   ``"repeated"``  (= Digest)
+=============  ======================  =========================
+
+Drive the engine either step-by-step (``engine.step(t)`` from your own
+loop) or by attaching it to a :class:`~repro.sim.engine.SimulationEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.independent import EvaluatorConfig, IndependentEvaluator
+from repro.core.query import ContinuousQuery
+from repro.core.repeated import RepeatedEvaluator
+from repro.core.result import NotificationFilter, RunningResult, UpdateRecord
+from repro.core.scheduler import ContinuousScheduler, ExtrapolationScheduler
+from repro.core.snapshot import SnapshotEstimate
+from repro.db.relation import P2PDatabase
+from repro.errors import QueryError
+from repro.network.graph import OverlayGraph
+from repro.network.messaging import MessageLedger
+from repro.sampling.operator import SamplerConfig, SamplingOperator
+from repro.sim.engine import PRIORITY_QUERY, SimulationEngine
+from repro.sim.metrics import RunMetrics
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Algorithm selection and tuning for one engine instance.
+
+    ``scheduler`` is ``"all"`` or ``"pred"``; ``pred_points`` is the ``k``
+    of PRED-k. ``evaluator`` is ``"independent"`` or ``"repeated"``.
+    ``oracle_population=True`` uses the database's true tuple count to
+    scale SUM/COUNT (the experiments' setting); ``False`` estimates it by
+    capture-recapture sampling each occasion.
+
+    ``forward_revision=True`` (repeated evaluator only) retrospectively
+    amends each result update once the next occasion's data allows a
+    forward-regression revision (the paper's Section VIII extension; see
+    :mod:`repro.core.forward`).
+    """
+
+    scheduler: str = "pred"
+    evaluator: str = "repeated"
+    pred_points: int = 3
+    period: int = 1
+    max_horizon: int = 64
+    safety_factor: float = 1.0
+    oracle_population: bool = True
+    forward_revision: bool = False
+    evaluator_config: EvaluatorConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in ("all", "pred"):
+            raise QueryError(
+                f"scheduler must be 'all' or 'pred', got {self.scheduler!r}"
+            )
+        if self.evaluator not in ("independent", "repeated"):
+            raise QueryError(
+                f"evaluator must be 'independent' or 'repeated', "
+                f"got {self.evaluator!r}"
+            )
+
+
+class DigestEngine:
+    """One continuous query answered at one querying node."""
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        database: P2PDatabase,
+        continuous_query: ContinuousQuery,
+        origin: int,
+        rng: np.random.Generator,
+        ledger: MessageLedger | None = None,
+        sampler_config: SamplerConfig | None = None,
+        config: EngineConfig | None = None,
+        operator=None,
+    ):
+        """``operator`` lets several engines share one sampling operator
+        (continued-walk pool, spectral cache, per-occasion sample reuse) —
+        see :class:`repro.core.node.DigestNode`. When given, ``ledger``
+        should be the ledger that operator records on."""
+        if origin not in graph:
+            raise QueryError(f"querying node {origin} is not in the overlay")
+        database.schema.validate_expression(continuous_query.query.expression)
+        if continuous_query.query.predicate is not None:
+            database.schema.validate_predicate(continuous_query.query.predicate)
+        self._graph = graph
+        self._database = database
+        self._cq = continuous_query
+        self._origin = origin
+        self._config = config if config is not None else EngineConfig()
+        self.ledger = ledger if ledger is not None else MessageLedger()
+        if operator is not None:
+            self.operator = operator
+        else:
+            self.operator = SamplingOperator(graph, rng, self.ledger, sampler_config)
+        self.metrics = RunMetrics()
+        self.result = RunningResult()
+
+        population_provider = None
+        if not self._config.oracle_population:
+            from repro.sampling.size_estimation import estimate_relation_size
+
+            def population_provider() -> float:
+                return estimate_relation_size(
+                    self.operator, self._database, self._origin
+                )
+
+        if self._config.evaluator == "independent":
+            self._evaluator = IndependentEvaluator(
+                database,
+                self.operator,
+                origin,
+                continuous_query.query,
+                population_size_provider=population_provider,
+                config=self._config.evaluator_config,
+            )
+        else:
+            self._evaluator = RepeatedEvaluator(
+                database,
+                self.operator,
+                origin,
+                continuous_query.query,
+                rng,
+                population_size_provider=population_provider,
+                config=self._config.evaluator_config,
+            )
+
+        precision = continuous_query.precision
+        if self._config.scheduler == "all":
+            self._scheduler = ContinuousScheduler(period=self._config.period)
+        else:
+            self._scheduler = ExtrapolationScheduler(
+                delta=precision.delta,
+                n_points=self._config.pred_points,
+                period=self._config.period,
+                max_horizon=self._config.max_horizon,
+                safety_factor=self._config.safety_factor,
+            )
+        self._next_due = continuous_query.start_time
+        self._history: list[tuple[int, float]] = []
+        self._subscriptions: list[NotificationFilter] = []
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def continuous_query(self) -> ContinuousQuery:
+        return self._cq
+
+    @property
+    def next_due(self) -> int:
+        """Time of the next scheduled snapshot query."""
+        return self._next_due
+
+    def current_estimate(self, time: int) -> float:
+        """The running result under hold semantics."""
+        return self.result.value_at(time)
+
+    def subscribe(self, callback, delta: float | None = None) -> NotificationFilter:
+        """Register a "notify me whenever it changes by delta" callback.
+
+        ``delta`` defaults to the query's own resolution parameter — the
+        paper's intended user experience. The filter fires on the first
+        result and then only when the estimate has moved by >= delta.
+        """
+        threshold = delta if delta is not None else self._cq.precision.delta
+        subscription = NotificationFilter(threshold, callback)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def step(self, time: int) -> SnapshotEstimate | None:
+        """Advance to ``time``: run a snapshot query iff one is due.
+
+        Returns the snapshot estimate when a query ran, else None. Steps
+        may be sparse (callers need only call at due times, but calling on
+        every step is equally correct).
+        """
+        if not self._cq.active_at(time) or time < self._next_due:
+            return None
+        precision = self._cq.precision
+        estimate = self._evaluator.evaluate(
+            time, precision.epsilon, precision.confidence
+        )
+        if (
+            self._config.forward_revision
+            and isinstance(self._evaluator, RepeatedEvaluator)
+            and self._evaluator.last_revision is not None
+            and self._history
+        ):
+            revision = self._evaluator.last_revision
+            previous_time = self._history[-1][0]
+            scale = (
+                estimate.aggregate / estimate.mean
+                if estimate.mean not in (0.0,)
+                else 1.0
+            )
+            self.result.amend(previous_time, revision.revised * scale)
+        record = UpdateRecord(
+            time=time,
+            estimate=estimate.aggregate,
+            n_samples=estimate.n_total,
+            n_fresh=estimate.n_fresh,
+        )
+        self.result.update(record)
+        for subscription in self._subscriptions:
+            subscription.offer(record)
+        self._history.append((time, estimate.aggregate))
+        self.metrics.snapshot_queries += 1
+        self.metrics.samples_total += estimate.n_total
+        self.metrics.samples_fresh += estimate.n_fresh
+        self.metrics.samples_retained += estimate.n_retained
+        self.metrics.series("estimate").record(time, estimate.aggregate)
+        self.metrics.series("samples_per_query").record(time, estimate.n_total)
+        self._next_due = self._scheduler.next_time(self._history, time)
+        return estimate
+
+    def attach(self, simulation: SimulationEngine) -> None:
+        """Schedule this engine's snapshot queries on a simulation engine.
+
+        The engine runs at :data:`~repro.sim.engine.PRIORITY_QUERY`, i.e.
+        after the step's data updates and churn, honoring the paper's
+        static-during-occasion assumption.
+        """
+
+        def run(time: int) -> None:
+            self.step(time)
+            end = self._cq.end_time
+            if end is None or self._next_due <= end:
+                simulation.schedule_at(self._next_due, run, PRIORITY_QUERY)
+
+        start = max(self._cq.start_time, simulation.now)
+        simulation.schedule_at(start, run, PRIORITY_QUERY)

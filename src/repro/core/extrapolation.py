@@ -1,0 +1,235 @@
+"""Taylor-polynomial extrapolation of the running aggregate (Section IV-A).
+
+The running aggregate ``X[t]`` is modeled as an analytic function; near the
+latest update time ``t_u`` it is approximated by a degree-``d`` Taylor
+polynomial ``P_d[t]`` with Lagrange remainder
+
+    |X[t] - P_d[t]| <= |R_d[t]|,
+    R_d[t] = (t - t_u)^{d+1} / (d+1)! * X^{(d+1)}(c),  c in [t_u, t].
+
+``P_d`` is fit to the ``d+1`` most recent snapshot results by
+Levenberg-Marquardt non-linear least squares (the paper's choice; for a
+polynomial model it converges to the interpolant in one round but is kept
+for fidelity and for robustness to degenerate geometry).
+
+The paper leaves the ``(d+1)``-th derivative bound unspecified (its ``c_k``
+assumes oracle knowledge of ``X``). We estimate the remainder *rate*
+``M/(d+1)!`` as the leading coefficient of a least-squares degree-``d+1``
+polynomial over a wider ``remainder_window`` of recent results: the exact
+Newton divided difference of order ``d+1`` equals that coefficient when the
+window is minimal (``d+2`` points), and widening the window averages out
+snapshot-estimation noise — which an order-``d+1`` difference would
+otherwise amplify by ``~2^{d+1}``, making high-degree predictors absurdly
+conservative. A configurable safety factor scales the estimate.
+
+The next update time is then the earliest ``t`` with (Eq. 4)
+
+    |P_d[t] - P_d[t_u]| + |R_d[t]| > delta.
+
+``PRED-k`` in the experiments = :class:`TaylorExtrapolator` with ``k``
+history points (degree ``k-1``); it needs ``k+1`` history points in total
+(one extra for the remainder estimate), during which the scheduler falls
+back to continuous querying (the bootstrapping period).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class ExtrapolationResult:
+    """Outcome of one extrapolation: the predicted next update time and
+    the fitted polynomial pieces used to derive it (for introspection)."""
+
+    next_time: int
+    coefficients: np.ndarray  # poly coefficients in (t - t_u) powers, ascending
+    remainder_rate: float  # |divided difference| = M / (d+1)!
+    capped: bool  # True when the horizon cap, not Eq. 4, chose next_time
+
+
+class TaylorExtrapolator:
+    """Predicts when the aggregate will have drifted by ``delta``.
+
+    Parameters
+    ----------
+    n_points:
+        Number of history points fit by the polynomial (the ``k`` of
+        PRED-k); polynomial degree is ``n_points - 1``.
+    max_horizon:
+        Upper bound on how far ahead an update may be scheduled. A flat
+        history would otherwise postpone re-evaluation forever; real
+        deployments always keep a liveness probe.
+    safety_factor:
+        Multiplier on the estimated remainder rate (>= 1 makes the
+        prediction more conservative, never less correct).
+    remainder_window:
+        History points used for the remainder-rate fit. Defaults to
+        ``2 * n_points`` (minimum ``n_points + 1``); larger = smoother,
+        less noise-inflated remainder.
+    """
+
+    def __init__(
+        self,
+        n_points: int = 3,
+        max_horizon: int = 64,
+        safety_factor: float = 1.0,
+        remainder_window: int | None = None,
+    ):
+        if n_points < 2:
+            raise QueryError(f"extrapolation needs >= 2 points, got {n_points}")
+        if max_horizon < 1:
+            raise QueryError(f"max_horizon must be >= 1, got {max_horizon}")
+        if safety_factor < 0:
+            raise QueryError(f"safety_factor must be >= 0, got {safety_factor}")
+        self.n_points = n_points
+        self.max_horizon = max_horizon
+        self.safety_factor = safety_factor
+        if remainder_window is None:
+            remainder_window = 2 * n_points
+        if remainder_window < n_points + 1:
+            raise QueryError(
+                f"remainder_window must be >= n_points + 1, got "
+                f"{remainder_window}"
+            )
+        self.remainder_window = remainder_window
+
+    @property
+    def required_history(self) -> int:
+        """History points needed before extrapolation can run."""
+        return self.remainder_window
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _fit_polynomial(
+        times: np.ndarray, values: np.ndarray, degree: int
+    ) -> np.ndarray:
+        """LM least-squares fit; returns ascending coefficients in ``t - t_u``.
+
+        ``times`` are shifted so the last point is 0, which conditions the
+        Vandermonde geometry and makes ``coefficients[0] ~= X[t_u]``.
+        """
+        shifted = times - times[-1]
+
+        def residuals(coefficients: np.ndarray) -> np.ndarray:
+            fitted = np.zeros_like(shifted, dtype=float)
+            for power, coefficient in enumerate(coefficients):
+                fitted += coefficient * shifted**power
+            return fitted - values
+
+        initial = np.polyfit(shifted, values, degree)[::-1]
+        solution = least_squares(residuals, initial, method="lm")
+        return solution.x
+
+    @staticmethod
+    def _divided_difference(times: np.ndarray, values: np.ndarray) -> float:
+        """Newton divided difference of maximal order over the points."""
+        table = values.astype(float).copy()
+        n = times.size
+        for level in range(1, n):
+            for i in range(n - level):
+                span = times[i + level] - times[i]
+                if span == 0:
+                    raise QueryError("duplicate history times in extrapolation")
+                table[i] = (table[i + 1] - table[i]) / span
+        return float(table[0])
+
+    def _remainder_rate(self, times: np.ndarray, values: np.ndarray) -> float:
+        """Estimate ``M / (d+1)!`` — the remainder's per-step growth rate.
+
+        The leading coefficient of a least-squares degree-``d+1`` fit over
+        the remainder window; with a minimal window (``d+2`` points) this
+        is exactly the Newton divided difference of order ``d+1``.
+        """
+        degree = self.n_points  # = d + 1
+        if times.size == degree + 1:
+            return abs(self._divided_difference(times, values))
+        shifted = times - times[-1]
+        coefficients = np.polyfit(shifted, values, degree)
+        return abs(float(coefficients[0]))
+
+    @staticmethod
+    def _evaluate(coefficients: np.ndarray, offset: float) -> float:
+        value = 0.0
+        for power, coefficient in enumerate(coefficients):
+            value += coefficient * offset**power
+        return value
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+
+    def predict_next_update(
+        self,
+        history: list[tuple[int, float]],
+        delta: float,
+    ) -> ExtrapolationResult:
+        """Earliest ``t > t_u`` where Eq. 4 predicts drift beyond ``delta``.
+
+        ``history`` holds ``(time, aggregate)`` pairs in increasing time
+        order; at least :attr:`required_history` points are needed.
+        """
+        if delta < 0:
+            raise QueryError(f"delta must be >= 0, got {delta}")
+        if len(history) < self.required_history:
+            raise QueryError(
+                f"need {self.required_history} history points, got {len(history)}"
+            )
+        window = history[-self.required_history :]
+        times = np.array([t for t, _ in window], dtype=float)
+        values = np.array([x for _, x in window], dtype=float)
+        if np.any(np.diff(times) <= 0):
+            raise QueryError("history times must be strictly increasing")
+
+        # least-squares fit over the whole window: snapshot results carry
+        # estimation noise ~epsilon, and exact interpolation of n_points
+        # noisy values amplifies it exponentially in the degree. With
+        # near-exact snapshots this coincides with interpolation (the
+        # paper's "robust estimation ... via least squares").
+        coefficients = self._fit_polynomial(times, values, self.n_points - 1)
+        remainder_rate = self.safety_factor * self._remainder_rate(times, values)
+        t_u = int(times[-1])
+        baseline = self._evaluate(coefficients, 0.0)
+        degree = self.n_points - 1
+        for offset in range(1, self.max_horizon + 1):
+            drift = abs(self._evaluate(coefficients, float(offset)) - baseline)
+            remainder = remainder_rate * float(offset) ** (degree + 1)
+            if drift + remainder > delta:
+                return ExtrapolationResult(
+                    next_time=t_u + offset,
+                    coefficients=coefficients,
+                    remainder_rate=remainder_rate,
+                    capped=False,
+                )
+        return ExtrapolationResult(
+            next_time=t_u + self.max_horizon,
+            coefficients=coefficients,
+            remainder_rate=remainder_rate,
+            capped=True,
+        )
+
+
+def lagrange_remainder_bound(
+    derivative_bound: float, degree: int, offset: float
+) -> float:
+    """``|R_d| <= M |t-t_u|^{d+1} / (d+1)!`` for a known derivative bound ``M``.
+
+    Utility for analytical tests; the extrapolator itself folds the
+    factorial into the divided-difference estimate.
+    """
+    if degree < 0:
+        raise QueryError(f"degree must be >= 0, got {degree}")
+    return (
+        derivative_bound
+        * abs(offset) ** (degree + 1)
+        / math.factorial(degree + 1)
+    )

@@ -1,0 +1,202 @@
+"""Independent sampling snapshot evaluation (Section IV-B1).
+
+Each snapshot query is answered from scratch: draw uniformly random tuples
+(with replacement, via two-stage sampling), estimate the mean by the sample
+mean, and size the sample by the CLT (Eq. 6). Because the population
+standard deviation is unknown, the evaluator samples *sequentially*: a
+pilot round estimates ``sigma``, the required ``n`` is recomputed, and
+extra samples are drawn until the drawn count covers the requirement
+(bounded by ``max_rounds`` top-up rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.estimators import (
+    ratio_estimate,
+    required_sample_size,
+    sample_mean_and_variance,
+    variance_target,
+)
+from repro.core.query import Query
+from repro.core.snapshot import SnapshotEstimate
+from repro.db.aggregates import (
+    AggregateOp,
+    mean_error_budget,
+    sample_contribution,
+    scale_factor,
+)
+from repro.db.relation import P2PDatabase
+from repro.errors import QueryError
+from repro.sampling.operator import SamplingOperator
+
+
+@dataclass(frozen=True)
+class EvaluatorConfig:
+    """Sequential-sampling knobs shared by both evaluators.
+
+    ``pilot_size`` seeds the sigma estimate on the first round;
+    ``max_rounds`` bounds the top-up iterations; ``max_sample_size`` guards
+    against infeasible precision requests; ``sigma_floor`` keeps the size
+    computation meaningful when the pilot happens to see identical values.
+    """
+
+    pilot_size: int = 30
+    max_rounds: int = 4
+    max_sample_size: int = 1_000_000
+    sigma_floor: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.pilot_size < 2:
+            raise QueryError(f"pilot_size must be >= 2, got {self.pilot_size}")
+        if self.max_rounds < 1:
+            raise QueryError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+
+class IndependentEvaluator:
+    """Evaluates snapshot queries by classical independent sampling.
+
+    Parameters
+    ----------
+    database, operator, origin:
+        Where samples come from: the operator's two-stage sampling against
+        ``database``, walks originating at ``origin``.
+    query:
+        The aggregate query; its op defines the value transform and scale.
+    population_size_provider:
+        Callable returning the relation size ``N`` used to scale SUM/COUNT
+        (oracle in experiments, estimator in deployments). AVG ignores it.
+    """
+
+    def __init__(
+        self,
+        database: P2PDatabase,
+        operator: SamplingOperator,
+        origin: int,
+        query: Query,
+        population_size_provider=None,
+        config: EvaluatorConfig | None = None,
+    ):
+        self._database = database
+        self._operator = operator
+        self._origin = origin
+        self._query = query
+        self._population_size_provider = (
+            population_size_provider
+            if population_size_provider is not None
+            else lambda: database.n_tuples
+        )
+        self._config = config if config is not None else EvaluatorConfig()
+
+    @property
+    def config(self) -> EvaluatorConfig:
+        return self._config
+
+    def _sample_values(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` samples; returns ``(y, indicator)`` arrays."""
+        samples = self._operator.sample_tuples(self._database, n, self._origin)
+        query = self._query
+        pairs = [
+            sample_contribution(query.op, query.expression, query.predicate, s.row)
+            for s in samples
+        ]
+        values = np.array([pair[0] for pair in pairs], dtype=float)
+        indicators = np.array([pair[1] for pair in pairs], dtype=float)
+        return values, indicators
+
+    def evaluate(
+        self, time: int, epsilon: float, confidence: float
+    ) -> SnapshotEstimate:
+        """Evaluate the snapshot query at ``time`` to ``(epsilon, p)``.
+
+        ``epsilon`` is in aggregate units; it is converted to the mean-level
+        budget using the population size (AVG passes through). AVG uses the
+        ratio estimator, which reduces to the plain sample mean when the
+        query has no predicate.
+        """
+        population = int(round(self._population_size_provider()))
+        epsilon_mean = mean_error_budget(self._query.op, epsilon, population)
+        if self._query.op is AggregateOp.AVG:
+            mean, variance, n = self._evaluate_ratio(epsilon_mean, confidence)
+        else:
+            mean, variance, n = self._evaluate_mean(epsilon_mean, confidence)
+        return SnapshotEstimate(
+            time=time,
+            mean=mean,
+            aggregate=mean * scale_factor(self._query.op, population),
+            variance=variance,
+            n_total=n,
+            n_fresh=n,
+            n_retained=0,
+            population_size=population,
+        )
+
+    def _evaluate_mean(
+        self, epsilon_mean: float, confidence: float
+    ) -> tuple[float, float, int]:
+        """Sequential CLT sizing on the (masked) per-tuple values."""
+        config = self._config
+        values = self._sample_values(config.pilot_size)[0]
+        for _ in range(config.max_rounds):
+            _, variance = sample_mean_and_variance(values)
+            sigma = max(float(np.sqrt(variance)), config.sigma_floor)
+            if epsilon_mean == float("inf"):
+                break
+            needed = required_sample_size(
+                sigma,
+                epsilon_mean,
+                confidence,
+                minimum=config.pilot_size,
+                maximum=config.max_sample_size,
+            )
+            if needed <= values.size:
+                break
+            extra = self._sample_values(needed - values.size)[0]
+            values = np.concatenate([values, extra])
+        mean, variance = sample_mean_and_variance(values)
+        return mean, variance / values.size, int(values.size)
+
+    def _evaluate_ratio(
+        self, epsilon_mean: float, confidence: float
+    ) -> tuple[float, float, int]:
+        """Sequential sizing of the ratio estimator (AVG, maybe filtered)."""
+        config = self._config
+        values, indicators = self._sample_values(config.pilot_size)
+        estimate, variance = None, None
+        for round_index in range(config.max_rounds + 1):
+            try:
+                estimate, variance = ratio_estimate(values, indicators)
+            except QueryError:
+                if round_index >= config.max_rounds:
+                    raise
+                # nothing qualified yet: widen the sample and retry
+                extra_values, extra_indicators = self._sample_values(
+                    len(values)
+                )
+                values = np.concatenate([values, extra_values])
+                indicators = np.concatenate([indicators, extra_indicators])
+                continue
+            if epsilon_mean == float("inf") or round_index >= config.max_rounds:
+                break
+            target = variance_target(epsilon_mean, confidence)
+            if variance <= target:
+                break
+            # per-sample variance rate; size the full requirement from it
+            rate = variance * values.size
+            needed = max(values.size + 1, int(np.ceil(rate / target)))
+            if needed > config.max_sample_size:
+                raise QueryError(
+                    f"required sample size {needed} exceeds the configured "
+                    f"maximum {config.max_sample_size}; the precision "
+                    f"request is infeasible for this population"
+                )
+            extra_values, extra_indicators = self._sample_values(
+                needed - values.size
+            )
+            values = np.concatenate([values, extra_values])
+            indicators = np.concatenate([indicators, extra_indicators])
+        assert estimate is not None and variance is not None
+        return estimate, variance, int(values.size)

@@ -1,0 +1,218 @@
+"""A Digest peer running multiple continuous queries.
+
+The paper's architecture (Section III, Figure 2) has each node operate its
+own Digest instance answering "the continuous queries received from the
+local user" — plural. :class:`DigestNode` is that per-peer instance:
+
+* one shared :class:`~repro.sampling.operator.SamplingOperator` serves all
+  registered queries, so the continued-walk pool and the spectral
+  walk-length cache amortize across them;
+* with ``share_samples=True``, queries evaluated at the same time step
+  additionally *reuse tuple samples*: samples are i.i.d. uniform tuples,
+  so a sample drawn for one query is a perfectly valid sample for another
+  query at the same occasion. Each query's ``(epsilon, p)`` guarantee
+  holds marginally; estimates of co-scheduled queries become correlated
+  with each other, which is harmless for the per-query semantics and is
+  the price of paying for each sample once instead of once per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import DigestEngine, EngineConfig
+from repro.core.query import ContinuousQuery
+from repro.core.result import RunningResult
+from repro.core.snapshot import SnapshotEstimate
+from repro.db.relation import P2PDatabase
+from repro.errors import QueryError
+from repro.network.graph import OverlayGraph
+from repro.network.messaging import MessageLedger
+from repro.sampling.operator import (
+    SamplerConfig,
+    SamplingOperator,
+    TupleSample,
+)
+from repro.sim.engine import PRIORITY_QUERY, SimulationEngine
+
+
+class SharedSampleSource:
+    """Operator facade adding per-occasion tuple-sample reuse.
+
+    Duck-typed to the slice of :class:`SamplingOperator` the evaluators
+    use (``sample_tuples``). Samples drawn during one occasion are cached;
+    later requests in the same occasion are served from the cache first
+    and only the shortfall is drawn fresh. ``begin_occasion`` must be
+    called when the time step advances (the node does this).
+    """
+
+    def __init__(self, operator: SamplingOperator):
+        self._operator = operator
+        self._occasion: int | None = None
+        self._cache: list[TupleSample] = []
+        self.samples_served_from_cache = 0
+
+    def begin_occasion(self, time: int) -> None:
+        if time != self._occasion:
+            self._occasion = time
+            self._cache = []
+
+    def sample_tuples(
+        self,
+        database: P2PDatabase,
+        n: int,
+        origin: int,
+        max_retries: int = 8,
+    ) -> list[TupleSample]:
+        served = [s for s in self._cache[:n] if s.tuple_id in database]
+        shortfall = n - len(served)
+        self.samples_served_from_cache += len(served)
+        if shortfall > 0:
+            fresh = self._operator.sample_tuples(
+                database, shortfall, origin, max_retries
+            )
+            self._cache.extend(fresh)
+            served = served + fresh
+        return served
+
+    def sample_nodes(self, weight, n: int, origin: int) -> list[int]:
+        """Pass-through (node sampling has no per-occasion reuse semantics)."""
+        return self._operator.sample_nodes(weight, n, origin)
+
+
+@dataclass
+class _RegisteredQuery:
+    engine: DigestEngine
+    continuous_query: ContinuousQuery
+
+
+class DigestNode:
+    """One peer's Digest instance, multiplexing continuous queries."""
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        database: P2PDatabase,
+        origin: int,
+        rng: np.random.Generator,
+        ledger: MessageLedger | None = None,
+        sampler_config: SamplerConfig | None = None,
+        share_samples: bool = True,
+    ):
+        if origin not in graph:
+            raise QueryError(f"node {origin} is not in the overlay")
+        self._graph = graph
+        self._database = database
+        self._origin = origin
+        self._rng = rng
+        self.ledger = ledger if ledger is not None else MessageLedger()
+        self._operator = SamplingOperator(
+            graph, rng, self.ledger, sampler_config
+        )
+        self._share_samples = share_samples
+        self._shared_source = (
+            SharedSampleSource(self._operator) if share_samples else None
+        )
+        self._queries: dict[int, _RegisteredQuery] = {}
+        self._next_id = 0
+
+    @property
+    def origin(self) -> int:
+        return self._origin
+
+    @property
+    def operator(self) -> SamplingOperator:
+        return self._operator
+
+    @property
+    def shared_source(self) -> SharedSampleSource | None:
+        return self._shared_source
+
+    def query_ids(self) -> list[int]:
+        return sorted(self._queries)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        continuous_query: ContinuousQuery,
+        config: EngineConfig | None = None,
+    ) -> int:
+        """Register a continuous query; returns its query id."""
+        operator = (
+            self._shared_source if self._shared_source is not None else self._operator
+        )
+        engine = DigestEngine(
+            self._graph,
+            self._database,
+            continuous_query,
+            self._origin,
+            self._rng,
+            ledger=self.ledger,
+            config=config,
+            operator=operator,
+        )
+        query_id = self._next_id
+        self._next_id += 1
+        self._queries[query_id] = _RegisteredQuery(engine, continuous_query)
+        return query_id
+
+    def deregister(self, query_id: int) -> None:
+        if query_id not in self._queries:
+            raise QueryError(f"no query registered under id {query_id}")
+        del self._queries[query_id]
+
+    def engine(self, query_id: int) -> DigestEngine:
+        try:
+            return self._queries[query_id].engine
+        except KeyError:
+            raise QueryError(f"no query registered under id {query_id}") from None
+
+    def result(self, query_id: int) -> RunningResult:
+        return self.engine(query_id).result
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def step(self, time: int) -> dict[int, SnapshotEstimate]:
+        """Advance every registered query to ``time``.
+
+        Returns the snapshot estimates of the queries that executed a
+        snapshot this step (queries whose scheduler skipped the step are
+        absent).
+        """
+        if self._shared_source is not None:
+            self._shared_source.begin_occasion(time)
+        executed: dict[int, SnapshotEstimate] = {}
+        for query_id in sorted(self._queries):
+            estimate = self._queries[query_id].engine.step(time)
+            if estimate is not None:
+                executed[query_id] = estimate
+        return executed
+
+    def attach(self, simulation: SimulationEngine, until: int) -> None:
+        """Schedule this node's stepping on a simulation engine."""
+        simulation.schedule_every(
+            1, lambda t: self.step(t), PRIORITY_QUERY, until=until
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def total_samples(self) -> int:
+        return sum(q.engine.metrics.samples_total for q in self._queries.values())
+
+    def total_fresh_samples(self) -> int:
+        return sum(q.engine.metrics.samples_fresh for q in self._queries.values())
+
+    def samples_saved_by_sharing(self) -> int:
+        """Samples served from the shared per-occasion cache."""
+        if self._shared_source is None:
+            return 0
+        return self._shared_source.samples_served_from_cache

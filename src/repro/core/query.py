@@ -1,0 +1,158 @@
+"""Query model and fixed-precision semantics (Section II).
+
+A snapshot query is ``SELECT op(expression) FROM R``; the continuous query
+is the same query evaluated for every discrete time ``t >= t0``. The
+approximate version carries three user parameters:
+
+* ``delta`` — resolution: the result is re-evaluated only when the actual
+  aggregate has changed by at least ``delta`` since the last update; in
+  between, the estimate *holds* its last value.
+* ``epsilon`` — maximum tolerable absolute error at each update time.
+* ``confidence`` (the paper's ``p``) — probability that the estimate is
+  within ``epsilon`` of the truth at an update time.
+
+An exact query is the degenerate case ``delta=0, epsilon=0, confidence=1``.
+
+:func:`parse_query` accepts the paper's SQL surface form
+(``"SELECT AVG(temperature) FROM R"``); programmatic construction through
+:class:`Query` is equivalent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.db.aggregates import AggregateOp
+from repro.db.expression import Expression
+from repro.db.predicate import Predicate
+from repro.errors import QueryError
+
+_QUERY_PATTERN = re.compile(
+    r"^\s*SELECT\s+(?P<op>[A-Za-z]+)\s*\(\s*(?P<expr>.+?)\s*\)\s+"
+    r"FROM\s+(?P<relation>[A-Za-z_][A-Za-z_0-9]*)"
+    r"(?:\s+WHERE\s+(?P<where>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A snapshot aggregate query ``op(expression)`` over the relation.
+
+    ``predicate`` restricts the aggregate to qualifying tuples (the WHERE
+    clause); None aggregates over the whole relation.
+    """
+
+    op: AggregateOp
+    expression: Expression
+    relation: str = "R"
+    predicate: Predicate | None = None
+
+    def __str__(self) -> str:
+        base = (
+            f"SELECT {self.op.value}({self.expression.text}) FROM {self.relation}"
+        )
+        if self.predicate is not None:
+            base += f" WHERE {self.predicate.text}"
+        return base
+
+
+def parse_query(text: str) -> Query:
+    """Parse ``SELECT op(expression) FROM R [WHERE predicate]``.
+
+    >>> q = parse_query("SELECT SUM(memory + storage) FROM R WHERE cpu > 2")
+    >>> q.op.value, q.expression.text, q.predicate.text
+    ('SUM', 'memory + storage', 'cpu > 2')
+    """
+    match = _QUERY_PATTERN.match(text)
+    if match is None:
+        raise QueryError(
+            f"cannot parse query {text!r}; expected "
+            f"'SELECT op(expression) FROM relation [WHERE predicate]'"
+        )
+    op = AggregateOp.parse(match.group("op"))
+    expression = Expression(match.group("expr"))
+    where = match.group("where")
+    predicate = Predicate(where) if where is not None else None
+    return Query(
+        op=op,
+        expression=expression,
+        relation=match.group("relation"),
+        predicate=predicate,
+    )
+
+
+@dataclass(frozen=True)
+class Precision:
+    """Fixed precision ``(delta, epsilon, p)`` of an approximate query.
+
+    ``delta`` and ``epsilon`` are in the units of the aggregate value;
+    ``confidence`` is a probability. ``Precision.exact()`` builds the
+    degenerate exact-query precision.
+    """
+
+    delta: float
+    epsilon: float
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise QueryError(f"delta must be >= 0, got {self.delta}")
+        if self.epsilon < 0:
+            raise QueryError(f"epsilon must be >= 0, got {self.epsilon}")
+        if not 0.0 < self.confidence <= 1.0:
+            raise QueryError(
+                f"confidence must be in (0, 1], got {self.confidence}"
+            )
+        if self.epsilon == 0 and self.confidence < 1.0:
+            raise QueryError(
+                "epsilon=0 requires confidence=1 (exact estimation); "
+                "a probabilistic guarantee of zero error is vacuous"
+            )
+
+    @classmethod
+    def exact(cls) -> "Precision":
+        return cls(delta=0.0, epsilon=0.0, confidence=1.0)
+
+    @property
+    def is_exact(self) -> bool:
+        return self.delta == 0.0 and self.epsilon == 0.0 and self.confidence == 1.0
+
+
+@dataclass(frozen=True)
+class ContinuousQuery:
+    """A fixed-precision approximate continuous aggregate query ``Q^C``.
+
+    ``start_time`` is the arrival time ``t0``; ``duration`` bounds the
+    query lifetime in steps (None = until the simulation ends).
+    """
+
+    query: Query
+    precision: Precision
+    start_time: int = 0
+    duration: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise QueryError(f"start_time must be >= 0, got {self.start_time}")
+        if self.duration is not None and self.duration < 1:
+            raise QueryError(f"duration must be >= 1, got {self.duration}")
+
+    @property
+    def end_time(self) -> int | None:
+        """Last time step covered, or None for an open-ended query."""
+        if self.duration is None:
+            return None
+        return self.start_time + self.duration - 1
+
+    def active_at(self, time: int) -> bool:
+        end = self.end_time
+        return time >= self.start_time and (end is None or time <= end)
+
+    def __str__(self) -> str:
+        p = self.precision
+        return (
+            f"{self.query} CONTINUOUS [delta={p.delta}, epsilon={p.epsilon}, "
+            f"p={p.confidence}]"
+        )

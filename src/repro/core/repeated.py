@@ -1,0 +1,535 @@
+"""Repeated sampling with regression estimation (Section IV-B2).
+
+Across successive sampling occasions the values of the tuples are
+autocorrelated, so the evaluator *retains* part of the previous occasion's
+sample-set, re-evaluates it, and uses the regression of current values on
+previous values to sharpen the estimate; the rest of the sample-set is
+*replaced* with fresh draws that track insertions, deletions and
+pathological updates. This is sampling on successive occasions with
+partial replacement (Cochran, "Sampling Techniques", ch. 12), which the
+paper specializes to P2P databases.
+
+Estimators at occasion ``k`` with ``g`` retained (matched) and ``f = n-g``
+fresh samples (Table 1, generalized to the k-th occasion):
+
+* fresh (regular):      ``Y_f = mean(y_fresh)``,
+  ``var = sigma^2 / f``;
+* retained (regression): ``Y_g = mean(y_k,g) + b (Y_hat_{k-1} - mean(y_{k-1},g))``,
+  ``var = sigma^2 (1 - rho^2) / g + rho^2 var(Y_hat_{k-1})``;
+* combined: inverse-variance weighting (Eq. 7), whose variance is
+  ``1 / (W_f + W_g)`` (Eq. 8 in its general form).
+
+At the second occasion ``var(Y_hat_1) = sigma^2 / n`` and the combined
+variance reduces exactly to the paper's Eq. 8; minimizing over the
+partition yields the paper's minimum variance (Eq. 10)::
+
+    var_min = sigma^2 / (2n) * (1 + sqrt(1 - rho^2))
+
+**A note on Eq. 9.** Optimizing Eq. 8 over the partition puts
+``n / (1 + sqrt(1-rho^2))`` samples in the *fresh* portion and
+``n sqrt(1-rho^2) / (1 + sqrt(1-rho^2))`` in the *retained* portion (at
+``rho -> 1`` a tiny matched set already carries full regression
+information, so fresh samples are worth more). The paper's Eq. 9 attaches
+those expressions to the opposite portions, which is inconsistent with its
+own Eq. 8 and Eq. 10; we implement the optimum consistent with Eq. 8/10
+(Cochran's classical result). The minimum variance — which is what every
+experiment measures — is identical either way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.estimators import (
+    sample_mean_and_variance,
+    variance_target,
+)
+from repro.core.forward import RevisedEstimate, revise_previous
+from repro.core.independent import EvaluatorConfig
+from repro.core.query import Query
+from repro.core.snapshot import SnapshotEstimate
+from repro.db.aggregates import (
+    AggregateOp,
+    mean_error_budget,
+    sample_contribution,
+    scale_factor,
+)
+from repro.db.relation import P2PDatabase
+from repro.errors import QueryError
+from repro.sampling.operator import SamplingOperator
+
+_RHO_CLIP = 0.999
+
+
+def optimal_partition(n: int, rho: float) -> tuple[int, int]:
+    """Optimal ``(g_retained, f_fresh)`` split of ``n`` samples (see Eq. 9 note).
+
+    Retained fraction ``sqrt(1-rho^2) / (1 + sqrt(1-rho^2))``; at ``rho=0``
+    the split is half-and-half (and immaterial), at ``|rho|=1`` everything
+    is replaced because a single matched sample already carries the perfect
+    regression information.
+    """
+    if n < 0:
+        raise QueryError(f"n must be >= 0, got {n}")
+    if not -1.0 <= rho <= 1.0:
+        raise QueryError(f"rho must be in [-1, 1], got {rho}")
+    s = math.sqrt(max(0.0, 1.0 - rho * rho))
+    g = int(round(n * s / (1.0 + s)))
+    g = min(max(g, 0), n)
+    return g, n - g
+
+
+def combined_variance(
+    sigma2: float, n: int, g: int, rho: float, var_prev: float
+) -> float:
+    """Variance of the combined estimator for a given partition.
+
+    General-occasion form; with ``var_prev = sigma2 / n`` it equals the
+    paper's Eq. 8 (expressed in terms of the fresh count ``f = n - g``):
+    ``sigma2 * (n - f rho^2) / (n^2 - f^2 rho^2)``.
+    """
+    if n < 1:
+        raise QueryError(f"n must be >= 1, got {n}")
+    if not 0 <= g <= n:
+        raise QueryError(f"g must be in [0, {n}], got {g}")
+    if sigma2 < 0 or var_prev < 0:
+        raise QueryError("variances must be non-negative")
+    f = n - g
+    weight_fresh = f / sigma2 if sigma2 > 0 else float("inf")
+    if g == 0:
+        weight_matched = 0.0
+    else:
+        denominator = sigma2 * (1.0 - rho * rho) / g + rho * rho * var_prev
+        weight_matched = float("inf") if denominator <= 0 else 1.0 / denominator
+    total = weight_fresh + weight_matched
+    if total == float("inf"):
+        return 0.0
+    if total <= 0:
+        raise QueryError("degenerate allocation: zero total information")
+    return 1.0 / total
+
+
+def minimum_variance(sigma2: float, n: int, rho: float) -> float:
+    """Eq. 10: best achievable second-occasion variance with ``n`` samples."""
+    if n < 1:
+        raise QueryError(f"n must be >= 1, got {n}")
+    return sigma2 / (2.0 * n) * (1.0 + math.sqrt(max(0.0, 1.0 - rho * rho)))
+
+
+def _best_partition(
+    sigma2: float, n: int, rho: float, var_prev: float, retained_available: int
+) -> tuple[int, float]:
+    """Best feasible ``g`` (and its variance) for a fixed sample budget ``n``.
+
+    Closed form: the matched weight ``g / (A + B g)`` with
+    ``A = sigma2 (1-rho^2)``, ``B = rho^2 var_prev`` has marginal value
+    ``A / (A + B g)^2``; equating to the fresh marginal ``1/sigma2`` gives
+    ``g* = (sigma sqrt(A) - A) / B``. Degenerate cases (``B = 0``) are
+    resolved by comparing marginals directly.
+    """
+    cap = min(n, max(0, retained_available))
+    if cap == 0 or rho == 0.0:
+        # no history, or regression worthless: all-fresh is optimal
+        # (at rho=0 any split gives sigma2/n; choose g=0 for simplicity)
+        return 0, combined_variance(sigma2, n, 0, rho, var_prev)
+    a = sigma2 * (1.0 - rho * rho)
+    b = rho * rho * var_prev
+    if b == 0.0:
+        # a perfect previous estimate: matched marginal 1/A beats 1/sigma2
+        g_star = cap
+    elif a == 0.0:
+        # |rho| = 1: one matched sample carries everything
+        g_star = 1
+    else:
+        g_star = (math.sqrt(sigma2 * a) - a) / b
+    candidates = {0, cap}
+    for candidate in (math.floor(g_star), math.ceil(g_star)):
+        candidates.add(int(min(max(candidate, 0), cap)))
+    best_g, best_var = 0, float("inf")
+    for g in sorted(candidates):
+        var = combined_variance(sigma2, n, g, rho, var_prev)
+        if var < best_var:
+            best_g, best_var = g, var
+    return best_g, best_var
+
+
+def solve_allocation(
+    sigma2: float,
+    rho: float,
+    var_prev: float,
+    v_target: float,
+    retained_available: int,
+    min_n: int = 2,
+    max_n: int = 1_000_000,
+) -> tuple[int, int]:
+    """Smallest sample budget ``(n, g)`` whose best partition meets ``v_target``.
+
+    Binary searches ``n`` (the variance of the best partition is
+    non-increasing in ``n``). Raises when even ``max_n`` cannot meet the
+    target.
+    """
+    if v_target <= 0:
+        raise QueryError(f"variance target must be > 0, got {v_target}")
+    if sigma2 == 0.0:
+        return min_n, 0
+
+    def best_var(n: int) -> float:
+        return _best_partition(sigma2, n, rho, var_prev, retained_available)[1]
+
+    if best_var(max_n) > v_target:
+        raise QueryError(
+            f"cannot reach variance target {v_target} with {max_n} samples "
+            f"(sigma^2={sigma2}, rho={rho})"
+        )
+    low, high = min_n, max_n
+    while low < high:
+        middle = (low + high) // 2
+        if best_var(middle) <= v_target:
+            high = middle
+        else:
+            low = middle + 1
+    g, _ = _best_partition(sigma2, low, rho, var_prev, retained_available)
+    return low, g
+
+
+@dataclass
+class _OccasionState:
+    """Sample-set and estimator state carried between occasions."""
+
+    tuple_ids: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+    estimate: float = 0.0
+    variance: float = 0.0
+    sigma2: float = 0.0
+    rho: float | None = None
+
+    @property
+    def initialized(self) -> bool:
+        return bool(self.tuple_ids)
+
+
+class RepeatedEvaluator:
+    """Snapshot evaluation by repeated sampling with partial replacement.
+
+    The first occasion bootstraps with independent sampling; every later
+    occasion solves for the cheapest ``(n, g)`` allocation meeting the
+    variance target, re-evaluates ``g`` retained tuples (negligible
+    communication cost: they are already located), draws ``f`` fresh tuples
+    through the sampling operator, and combines the regression and regular
+    estimates by inverse-variance weighting. Deleted tuples and departed
+    nodes shrink the retainable pool automatically (the paper's "a sample
+    tuple that is deleted ... is always replaced").
+    """
+
+    def __init__(
+        self,
+        database: P2PDatabase,
+        operator: SamplingOperator,
+        origin: int,
+        query: Query,
+        rng: np.random.Generator,
+        population_size_provider=None,
+        config: EvaluatorConfig | None = None,
+        initial_rho: float = 0.0,
+    ):
+        self._database = database
+        self._operator = operator
+        self._origin = origin
+        self._query = query
+        self._rng = rng
+        self._population_size_provider = (
+            population_size_provider
+            if population_size_provider is not None
+            else lambda: database.n_tuples
+        )
+        self._config = config if config is not None else EvaluatorConfig()
+        if not -1.0 <= initial_rho <= 1.0:
+            raise QueryError(f"initial_rho must be in [-1, 1], got {initial_rho}")
+        if query.op is AggregateOp.AVG and query.predicate is not None:
+            raise QueryError(
+                "repeated sampling does not support AVG with a predicate "
+                "(the subpopulation mean is a ratio of two means, and the "
+                "regression machinery of Section IV-B2 targets a single "
+                "mean); use the independent evaluator for filtered AVG"
+            )
+        self._initial_rho = initial_rho
+        self._state = _OccasionState()
+        #: forward-regression revision of the *previous* occasion's mean,
+        #: refreshed by every non-bootstrap evaluate() (None at bootstrap
+        #: or when no regression was possible). See repro.core.forward.
+        self.last_revision: RevisedEstimate | None = None
+
+    @property
+    def config(self) -> EvaluatorConfig:
+        return self._config
+
+    @property
+    def current_rho(self) -> float | None:
+        """Most recent matched-pair correlation estimate (None before it exists)."""
+        return self._state.rho
+
+    def reset(self) -> None:
+        """Forget all occasion state (next evaluate() bootstraps again)."""
+        self._state = _OccasionState()
+        self.last_revision = None
+
+    # ------------------------------------------------------------------
+    # sampling helpers
+    # ------------------------------------------------------------------
+
+    def _value_of(self, row: dict[str, float]) -> float:
+        query = self._query
+        value, _ = sample_contribution(
+            query.op, query.expression, query.predicate, row
+        )
+        return value
+
+    def _draw_fresh(self, n: int) -> tuple[list[int], list[float]]:
+        if n == 0:
+            return [], []
+        samples = self._operator.sample_tuples(self._database, n, self._origin)
+        ids = [s.tuple_id for s in samples]
+        values = [self._value_of(s.row) for s in samples]
+        return ids, values
+
+    # ------------------------------------------------------------------
+    # occasions
+    # ------------------------------------------------------------------
+
+    def _bootstrap(
+        self, time: int, epsilon_mean: float, confidence: float, population: int
+    ) -> SnapshotEstimate:
+        """First occasion: independent sequential sampling, state recorded."""
+        from repro.core.estimators import required_sample_size
+
+        config = self._config
+        ids, values = self._draw_fresh(config.pilot_size)
+        for _ in range(config.max_rounds):
+            _, variance = sample_mean_and_variance(np.array(values))
+            sigma = max(math.sqrt(variance), config.sigma_floor)
+            if epsilon_mean == float("inf"):
+                break
+            needed = required_sample_size(
+                sigma,
+                epsilon_mean,
+                confidence,
+                minimum=config.pilot_size,
+                maximum=config.max_sample_size,
+            )
+            if needed <= len(values):
+                break
+            extra_ids, extra_values = self._draw_fresh(needed - len(values))
+            ids.extend(extra_ids)
+            values.extend(extra_values)
+        mean, variance = sample_mean_and_variance(np.array(values))
+        n = len(values)
+        self.last_revision = None
+        self._state = _OccasionState(
+            tuple_ids=ids,
+            values=values,
+            estimate=mean,
+            variance=variance / n,
+            sigma2=variance,
+            rho=None,
+        )
+        return SnapshotEstimate(
+            time=time,
+            mean=mean,
+            aggregate=mean * scale_factor(self._query.op, population),
+            variance=variance / n,
+            n_total=n,
+            n_fresh=n,
+            n_retained=0,
+            population_size=population,
+        )
+
+    def evaluate(
+        self, time: int, epsilon: float, confidence: float
+    ) -> SnapshotEstimate:
+        """Evaluate the snapshot query at ``time`` to ``(epsilon, p)``."""
+        population = int(round(self._population_size_provider()))
+        epsilon_mean = mean_error_budget(self._query.op, epsilon, population)
+        if not self._state.initialized:
+            return self._bootstrap(time, epsilon_mean, confidence, population)
+
+        state = self._state
+        config = self._config
+        sigma2 = max(state.sigma2, config.sigma_floor**2)
+        rho_plan = state.rho if state.rho is not None else self._initial_rho
+
+        # which previous samples are still retainable?
+        alive = [
+            (tid, value)
+            for tid, value in zip(state.tuple_ids, state.values)
+            if tid in self._database
+        ]
+        if epsilon_mean == float("inf"):
+            v_target = float("inf")
+            n_needed, g_target = config.pilot_size, min(
+                len(alive), config.pilot_size // 2
+            )
+        else:
+            v_target = variance_target(epsilon_mean, confidence)
+            n_needed, g_target = solve_allocation(
+                sigma2,
+                rho_plan,
+                state.variance,
+                v_target,
+                retained_available=len(alive),
+                min_n=config.pilot_size,
+                max_n=config.max_sample_size,
+            )
+        if state.rho is None:
+            # correlation not yet measurable: retain half the set (variance-
+            # neutral when rho is actually 0, and it seeds the rho estimate)
+            g_target = min(len(alive), n_needed // 2)
+
+        # retain a random subset of the alive previous samples
+        if g_target > 0:
+            picks = self._rng.choice(len(alive), size=g_target, replace=False)
+            matched = [alive[int(i)] for i in picks]
+        else:
+            matched = []
+        matched_prev = np.array([value for _, value in matched], dtype=float)
+        matched_ids = [tid for tid, _ in matched]
+        # re-evaluation: already located, negligible communication cost
+        matched_curr = np.array(
+            [self._value_of(self._database.read(tid)) for tid in matched_ids],
+            dtype=float,
+        )
+
+        fresh_ids, fresh_values_list = self._draw_fresh(n_needed - len(matched_ids))
+        fresh_values = np.array(fresh_values_list, dtype=float)
+
+        estimate, variance, rho_measured, sigma2_new = self._combine(
+            matched_prev,
+            matched_curr,
+            fresh_values,
+            state.estimate,
+            state.variance,
+        )
+
+        # sequential top-up: draw more fresh samples while short of target
+        rounds = 0
+        while (
+            v_target != float("inf")
+            and variance > v_target * (1.0 + 1e-9)
+            and rounds < config.max_rounds
+        ):
+            shortfall_weight = 1.0 / v_target - 1.0 / max(variance, 1e-300)
+            extra = max(1, int(math.ceil(shortfall_weight * sigma2_new)))
+            extra = min(extra, config.max_sample_size - len(fresh_values_list))
+            if extra <= 0:
+                break
+            extra_ids, extra_values = self._draw_fresh(extra)
+            fresh_ids.extend(extra_ids)
+            fresh_values_list.extend(extra_values)
+            fresh_values = np.array(fresh_values_list, dtype=float)
+            estimate, variance, rho_measured, sigma2_new = self._combine(
+                matched_prev,
+                matched_curr,
+                fresh_values,
+                state.estimate,
+                state.variance,
+            )
+            rounds += 1
+
+        # forward regression: the matched pairs also support revising the
+        # previous occasion's estimate with what occasion k learned
+        if matched_curr.size >= 3:
+            self.last_revision = revise_previous(
+                state.estimate,
+                state.variance,
+                matched_prev,
+                matched_curr,
+                estimate,
+                variance,
+                sigma2_new,
+            )
+        else:
+            self.last_revision = None
+
+        g = len(matched_ids)
+        f = len(fresh_ids)
+        self._state = _OccasionState(
+            tuple_ids=matched_ids + fresh_ids,
+            values=matched_curr.tolist() + fresh_values_list,
+            estimate=estimate,
+            variance=variance,
+            sigma2=sigma2_new,
+            rho=rho_measured if rho_measured is not None else state.rho,
+        )
+        return SnapshotEstimate(
+            time=time,
+            mean=estimate,
+            aggregate=estimate * scale_factor(self._query.op, population),
+            variance=variance,
+            n_total=g + f,
+            n_fresh=f,
+            n_retained=g,
+            population_size=population,
+        )
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+
+    def _combine(
+        self,
+        matched_prev: np.ndarray,
+        matched_curr: np.ndarray,
+        fresh_values: np.ndarray,
+        prev_estimate: float,
+        prev_variance: float,
+    ) -> tuple[float, float, float | None, float]:
+        """Inverse-variance combination of the regression and regular estimates.
+
+        Returns ``(estimate, variance, measured_rho, sigma2_estimate)``.
+        ``measured_rho`` is None when the matched portion is too small to
+        estimate a regression.
+        """
+        g = matched_curr.size
+        f = fresh_values.size
+        if g + f == 0:
+            raise QueryError("cannot combine with zero samples")
+        current_values = np.concatenate([matched_curr, fresh_values])
+        _, sigma2 = sample_mean_and_variance(current_values)
+        sigma2 = max(sigma2, self._config.sigma_floor**2)
+
+        rho_measured: float | None = None
+        estimates: list[tuple[float, float]] = []  # (estimate, variance)
+        if g >= 3:
+            prev_var = float(np.mean((matched_prev - matched_prev.mean()) ** 2))
+            if prev_var > 0:
+                covariance = float(
+                    np.mean(
+                        (matched_prev - matched_prev.mean())
+                        * (matched_curr - matched_curr.mean())
+                    )
+                )
+                b = covariance / prev_var
+                curr_var = float(np.mean((matched_curr - matched_curr.mean()) ** 2))
+                if curr_var > 0:
+                    rho_measured = covariance / math.sqrt(prev_var * curr_var)
+                    rho_measured = max(-_RHO_CLIP, min(_RHO_CLIP, rho_measured))
+                regression = float(matched_curr.mean()) + b * (
+                    prev_estimate - float(matched_prev.mean())
+                )
+                r2 = rho_measured**2 if rho_measured is not None else 0.0
+                var_regression = sigma2 * (1.0 - r2) / g + r2 * prev_variance
+                estimates.append((regression, max(var_regression, 1e-300)))
+            else:
+                estimates.append((float(matched_curr.mean()), sigma2 / g))
+        elif g > 0:
+            estimates.append((float(matched_curr.mean()), sigma2 / g))
+        if f > 0:
+            estimates.append((float(fresh_values.mean()), sigma2 / f))
+
+        weights = [1.0 / var for _, var in estimates]
+        total_weight = sum(weights)
+        combined = sum(w * est for w, (est, _) in zip(weights, estimates))
+        combined /= total_weight
+        return combined, 1.0 / total_weight, rho_measured, sigma2

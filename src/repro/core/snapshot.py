@@ -1,0 +1,39 @@
+"""Shared snapshot-evaluation result type.
+
+Both evaluators (independent and repeated sampling) produce a
+:class:`SnapshotEstimate`: the mean estimate, the scaled aggregate
+estimate, the estimator's variance (of the *mean* estimator), and the
+sample accounting the experiments aggregate (total / fresh / retained).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.estimators import confidence_quantile
+
+
+@dataclass(frozen=True)
+class SnapshotEstimate:
+    """Result of one snapshot-query evaluation.
+
+    ``variance`` is the estimated variance of the mean estimator;
+    ``aggregate`` is the mean scaled to the query's aggregate (times ``N``
+    for SUM/COUNT). ``n_fresh`` counts samples drawn through the sampling
+    operator this occasion; ``n_retained`` counts re-evaluated samples
+    carried over from the previous occasion.
+    """
+
+    time: int
+    mean: float
+    aggregate: float
+    variance: float
+    n_total: int
+    n_fresh: int
+    n_retained: int
+    population_size: int
+
+    def half_width(self, confidence: float) -> float:
+        """Achieved confidence-interval half width for the *mean* estimate."""
+        return confidence_quantile(confidence) * math.sqrt(max(0.0, self.variance))

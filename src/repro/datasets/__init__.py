@@ -1,0 +1,37 @@
+"""Workloads: synthetic equivalents of the paper's two real datasets.
+
+The paper evaluates on two private traces (Table II):
+
+* **TEMPERATURE** — JPL/NASA weather stations: 8000 sensor units on 530
+  nodes, 18 months at a 12-hour update period, lag-1 tuple correlation
+  rho ~= 0.89, cross-sectional sigma ~= 8, mesh overlay, almost no churn.
+* **MEMORY** — SETI@HOME: 1000 computing units on 820 nodes, 1 hour of
+  continuous updates, rho ~= 0.68, sigma ~= 10, power-law overlay,
+  frequent churn.
+
+Neither trace is public, so :mod:`repro.datasets.temperature` and
+:mod:`repro.datasets.memory` generate synthetic processes *calibrated to
+the published parameters* — the algorithms interact with a workload only
+through the smoothness of the aggregate and the tuple-level lag
+correlation, both of which are matched by construction (see DESIGN.md,
+"Substitutions"). :mod:`repro.datasets.traces` adds a portable trace
+format so captured or external workloads can be replayed.
+"""
+
+from repro.datasets.base import DatasetInstance, distribute_units
+from repro.datasets.memory import MemoryConfig, MemoryDataset
+from repro.datasets.temperature import TemperatureConfig, TemperatureDataset
+from repro.datasets.traces import Trace, TraceEvent, TraceRecorder, replay_trace
+
+__all__ = [
+    "DatasetInstance",
+    "MemoryConfig",
+    "MemoryDataset",
+    "TemperatureConfig",
+    "TemperatureDataset",
+    "Trace",
+    "TraceEvent",
+    "TraceRecorder",
+    "distribute_units",
+    "replay_trace",
+]

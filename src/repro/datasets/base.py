@@ -1,0 +1,137 @@
+"""Shared workload machinery.
+
+A *dataset instance* owns the overlay graph and the P2P database and knows
+how to advance the world by one time step (tuple updates, and for churning
+workloads node joins/leaves). Experiments interleave ``instance.step(t)``
+with engine/baseline steps.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.db.expression import Expression
+from repro.db.relation import P2PDatabase
+from repro.errors import SimulationError
+from repro.network.graph import OverlayGraph
+
+
+def distribute_units(
+    n_units: int, nodes: list[int], rng: np.random.Generator
+) -> dict[int, int]:
+    """Assign ``n_units`` units to nodes, at least one per node when possible.
+
+    Mirrors the paper's workloads where a node hosts "one or more" units:
+    every node gets one unit first (so no empty fragments), the remainder
+    land multinomially, giving the skewed ``m_v`` distribution two-stage
+    sampling exists to handle. Returns ``unit -> node``.
+    """
+    if n_units < 1:
+        raise SimulationError(f"need at least one unit, got {n_units}")
+    if not nodes:
+        raise SimulationError("need at least one node")
+    assignment: dict[int, int] = {}
+    unit = 0
+    for node in nodes:
+        if unit >= n_units:
+            break
+        assignment[unit] = node
+        unit += 1
+    remaining = n_units - unit
+    if remaining > 0:
+        picks = rng.integers(0, len(nodes), size=remaining)
+        for offset, pick in enumerate(picks):
+            assignment[unit + offset] = nodes[int(pick)]
+    return assignment
+
+
+class DatasetInstance(abc.ABC):
+    """A live simulated workload: overlay + database + update process."""
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        database: P2PDatabase,
+        attribute: str,
+        n_steps: int,
+    ):
+        self.graph = graph
+        self.database = database
+        self.attribute = attribute
+        self.n_steps = n_steps
+        self._expression = Expression(attribute)
+        self._last_step = -1
+
+    @property
+    def expression(self) -> Expression:
+        """The single-attribute expression the canonical AVG query uses."""
+        return self._expression
+
+    @abc.abstractmethod
+    def step(self, time: int) -> None:
+        """Advance the world to time ``time`` (apply its updates/churn)."""
+
+    def _check_step(self, time: int) -> None:
+        if time != self._last_step + 1:
+            raise SimulationError(
+                f"steps must be consecutive: got {time} after {self._last_step}"
+            )
+        self._last_step = time
+
+    def true_average(self) -> float:
+        """Oracle AVG of the attribute over the current relation."""
+        values = self.database.exact_values(self._expression)
+        if values.size == 0:
+            raise SimulationError("relation is empty")
+        return float(values.mean())
+
+    def current_values(self) -> np.ndarray:
+        """Oracle snapshot of every tuple's attribute value."""
+        return self.database.exact_values(self._expression)
+
+    def current_values_by_id(self) -> dict[int, float]:
+        """Oracle snapshot keyed by tuple id (for churn-safe pairing)."""
+        return {
+            tuple_id: row[self.attribute]
+            for tuple_id, _, row in self.database.iter_tuples()
+        }
+
+
+def lag1_correlation_matched(
+    previous: dict[int, float], current: dict[int, float]
+) -> float:
+    """Lag-1 correlation over tuples present in *both* snapshots.
+
+    Under churn the tuple sets differ between steps; pairing by position
+    (as :func:`lag1_correlation` does) silently compares unrelated tuples
+    and underestimates rho. Matching by tuple id measures the quantity
+    Table II actually reports.
+    """
+    common = sorted(set(previous) & set(current))
+    if len(common) < 2:
+        raise SimulationError("need >= 2 surviving tuples to correlate")
+    return lag1_correlation(
+        np.array([previous[t] for t in common]),
+        np.array([current[t] for t in common]),
+    )
+
+
+def lag1_correlation(previous: np.ndarray, current: np.ndarray) -> float:
+    """Cross-sectional correlation between consecutive snapshots.
+
+    This is the ``rho`` of Table II: the correlation across tuples between
+    their values at successive occasions (the quantity repeated sampling's
+    regression exploits).
+    """
+    previous = np.asarray(previous, dtype=float)
+    current = np.asarray(current, dtype=float)
+    if previous.size != current.size or previous.size < 2:
+        raise SimulationError("need two equal-length snapshots of size >= 2")
+    prev_centered = previous - previous.mean()
+    curr_centered = current - current.mean()
+    denominator = np.sqrt((prev_centered**2).sum() * (curr_centered**2).sum())
+    if denominator == 0:
+        return 0.0
+    return float((prev_centered * curr_centered).sum() / denominator)

@@ -1,0 +1,38 @@
+"""Relational substrate for the peer-to-peer database.
+
+The paper assumes a single relation ``R`` horizontally partitioned over the
+overlay nodes, each node holding a disjoint multiset of tuples whose values
+change autonomously (Section II). This package provides:
+
+* :mod:`repro.db.expression` — the arithmetic ``expression`` language that
+  appears inside ``op(expression)`` aggregate queries;
+* :mod:`repro.db.store` — a per-node tuple store with O(1) insert, update,
+  delete and uniform local sampling;
+* :mod:`repro.db.relation` — the distributed relation: placement of tuples
+  on nodes, churn integration, and exact (oracle) evaluation;
+* :mod:`repro.db.aggregates` — AVG/SUM/COUNT semantics shared by the exact
+  evaluator and the sample-based estimators.
+"""
+
+from repro.db.aggregates import (
+    AggregateOp,
+    estimate_from_mean,
+    exact_aggregate,
+    sample_contribution,
+)
+from repro.db.expression import Expression
+from repro.db.predicate import Predicate
+from repro.db.relation import P2PDatabase, Schema
+from repro.db.store import LocalStore
+
+__all__ = [
+    "AggregateOp",
+    "Expression",
+    "LocalStore",
+    "P2PDatabase",
+    "Predicate",
+    "Schema",
+    "estimate_from_mean",
+    "exact_aggregate",
+    "sample_contribution",
+]

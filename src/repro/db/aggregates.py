@@ -1,0 +1,139 @@
+"""Aggregate operations and their sample-based estimators.
+
+The query model covers ``op in {AVG, COUNT, SUM}`` applied to an arithmetic
+expression (Section II). All three reduce to estimating a population mean
+``Y-bar`` of per-tuple values ``y_i = expression(u_i)``:
+
+* ``AVG``   -> ``Y-bar`` directly;
+* ``SUM``   -> ``N * Y-bar`` where ``N = |R|``;
+* ``COUNT`` -> ``N * P`` where ``P`` is the fraction of tuples whose
+  expression value is non-zero (the indicator mean). With the constant
+  expression ``1`` this is exactly the relation size ``N``.
+
+``N`` is a property of the database; in a live deployment it is itself
+estimated (see :mod:`repro.sampling.size_estimation`), while experiments
+may use the oracle value. The scaling also maps the user's absolute error
+``epsilon`` on the aggregate down to the error the mean estimator must
+achieve (``epsilon / N`` for SUM/COUNT).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.db.expression import Expression
+from repro.db.predicate import Predicate
+from repro.db.relation import P2PDatabase
+from repro.errors import QueryError
+
+
+class AggregateOp(enum.Enum):
+    """Aggregate operations supported by the query model."""
+
+    AVG = "AVG"
+    SUM = "SUM"
+    COUNT = "COUNT"
+
+    @classmethod
+    def parse(cls, text: str) -> "AggregateOp":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            valid = ", ".join(op.value for op in cls)
+            raise QueryError(f"unknown aggregate {text!r}; expected one of {valid}")
+
+
+def tuple_values(op: AggregateOp, expression: Expression, rows: np.ndarray) -> np.ndarray:
+    """Per-tuple values ``y_i`` whose mean the estimator targets.
+
+    ``rows`` holds expression values; COUNT replaces them with the non-zero
+    indicator so the mean becomes the counted fraction.
+    """
+    values = np.asarray(rows, dtype=float)
+    if op is AggregateOp.COUNT:
+        return (values != 0.0).astype(float)
+    return values
+
+
+def scale_factor(op: AggregateOp, population_size: int) -> float:
+    """Multiplier from the mean of ``y_i`` to the aggregate value."""
+    if op is AggregateOp.AVG:
+        return 1.0
+    if population_size < 0:
+        raise QueryError(f"population size must be >= 0, got {population_size}")
+    return float(population_size)
+
+
+def estimate_from_mean(
+    op: AggregateOp, mean_estimate: float, population_size: int
+) -> float:
+    """Aggregate estimate from a mean estimate (see module docstring)."""
+    return mean_estimate * scale_factor(op, population_size)
+
+
+def mean_error_budget(op: AggregateOp, epsilon: float, population_size: int) -> float:
+    """Absolute error the *mean* estimator must meet for aggregate error ``epsilon``."""
+    if epsilon < 0:
+        raise QueryError(f"epsilon must be >= 0, got {epsilon}")
+    scale = scale_factor(op, population_size)
+    if scale == 0.0:
+        # empty relation: any estimate of the (zero) aggregate is exact
+        return float("inf")
+    return epsilon / scale
+
+
+def sample_contribution(
+    op: AggregateOp,
+    expression: Expression,
+    predicate: Predicate | None,
+    row,
+) -> tuple[float, float]:
+    """Per-sample ``(y, indicator)`` pair for one tuple.
+
+    ``indicator`` is 1.0 when the tuple qualifies under ``predicate``
+    (always 1.0 without one). ``y`` is the masked contribution:
+
+    * AVG — ``expr * indicator``; the subpopulation mean is the *ratio*
+      ``E[y] / E[indicator]`` (see :func:`ratio_estimate` in
+      :mod:`repro.core.estimators`), reducing to the plain mean when no
+      predicate is present;
+    * SUM — ``expr * indicator`` (``SUM = N * E[y]``);
+    * COUNT — ``indicator * (expr != 0)`` (``COUNT = N * E[y]``).
+    """
+    satisfied = 1.0 if predicate is None or predicate.evaluate(row) else 0.0
+    if op is AggregateOp.COUNT:
+        value = 1.0 if expression.evaluate(row) != 0.0 else 0.0
+        return value * satisfied, satisfied
+    return expression.evaluate(row) * satisfied, satisfied
+
+
+def exact_aggregate(
+    database: P2PDatabase,
+    op: AggregateOp,
+    expression: Expression,
+    predicate: Predicate | None = None,
+) -> float:
+    """Oracle aggregate over the full relation (used for error measurement)."""
+    raw = database.exact_values(expression)
+    if predicate is not None:
+        columns = database.exact_columns(
+            sorted(set(expression.attributes) | set(predicate.attributes))
+        )
+        mask = predicate.evaluate_columns(columns)
+    else:
+        mask = np.ones(raw.size, dtype=bool)
+    values = tuple_values(op, expression, raw)
+    if op is AggregateOp.AVG:
+        if not mask.any():
+            raise QueryError(
+                "AVG is undefined: no tuple satisfies the predicate"
+                if predicate is not None
+                else "AVG over an empty relation is undefined"
+            )
+        return float(values[mask].mean())
+    if values.size == 0:
+        return 0.0
+    masked = np.where(mask, values, 0.0)
+    return estimate_from_mean(op, float(masked.mean()), database.n_tuples)

@@ -1,0 +1,143 @@
+"""Per-node local tuple store.
+
+Each overlay node holds a disjoint horizontal fragment of the relation
+``R``. The store supports the operations the system needs at tuple
+granularity:
+
+* autonomous local modification (insert / update / delete, Section II);
+* uniform local sampling in O(1) — the second stage of the two-stage
+  sampling scheme (Section III);
+* content-size queries ``m_v`` used as the node weight for the first stage.
+
+Tuple ids are globally unique integers assigned by the database layer; the
+store indexes rows by id with an id list + position map so delete and
+uniform choice are both constant time (swap-pop).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import StoreError
+
+
+class LocalStore:
+    """Mutable fragment of the relation held by a single node.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered attribute names of the relation schema. Rows are stored as
+        plain dicts keyed by these names; unknown keys are rejected so a
+        schema mismatch fails loudly at the write site.
+    """
+
+    def __init__(self, attributes: tuple[str, ...]):
+        if not attributes:
+            raise StoreError("schema needs at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise StoreError(f"duplicate attribute names in {attributes}")
+        self._attributes = tuple(attributes)
+        self._rows: dict[int, dict[str, float]] = {}
+        self._ids: list[int] = []
+        self._positions: dict[int, int] = {}
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self._attributes
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, tuple_id: int) -> bool:
+        return tuple_id in self._rows
+
+    def tuple_ids(self) -> list[int]:
+        """All tuple ids currently stored (unordered snapshot copy)."""
+        return list(self._ids)
+
+    def iter_rows(self) -> Iterator[tuple[int, dict[str, float]]]:
+        """Iterate ``(tuple_id, row)`` pairs; rows are live references."""
+        for tuple_id in self._ids:
+            yield tuple_id, self._rows[tuple_id]
+
+    # ------------------------------------------------------------------
+    # modification
+    # ------------------------------------------------------------------
+
+    def _coerce_row(self, values: Mapping[str, float]) -> dict[str, float]:
+        unknown = set(values) - set(self._attributes)
+        if unknown:
+            raise StoreError(
+                f"unknown attributes {sorted(unknown)}; schema is {self._attributes}"
+            )
+        missing = set(self._attributes) - set(values)
+        if missing:
+            raise StoreError(f"missing attributes {sorted(missing)} in row")
+        return {name: float(values[name]) for name in self._attributes}
+
+    def insert(self, tuple_id: int, values: Mapping[str, float]) -> None:
+        """Insert a complete new row under ``tuple_id``."""
+        if tuple_id in self._rows:
+            raise StoreError(f"tuple {tuple_id} already exists")
+        self._rows[tuple_id] = self._coerce_row(values)
+        self._positions[tuple_id] = len(self._ids)
+        self._ids.append(tuple_id)
+
+    def update(self, tuple_id: int, values: Mapping[str, float]) -> None:
+        """Overwrite a subset of attributes of an existing row."""
+        row = self._rows.get(tuple_id)
+        if row is None:
+            raise StoreError(f"tuple {tuple_id} does not exist")
+        unknown = set(values) - set(self._attributes)
+        if unknown:
+            raise StoreError(
+                f"unknown attributes {sorted(unknown)}; schema is {self._attributes}"
+            )
+        for name, value in values.items():
+            row[name] = float(value)
+
+    def delete(self, tuple_id: int) -> None:
+        """Remove a row in O(1) (swap-pop on the id list)."""
+        position = self._positions.get(tuple_id)
+        if position is None:
+            raise StoreError(f"tuple {tuple_id} does not exist")
+        last_id = self._ids[-1]
+        self._ids[position] = last_id
+        self._positions[last_id] = position
+        self._ids.pop()
+        del self._positions[tuple_id]
+        del self._rows[tuple_id]
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def get(self, tuple_id: int) -> dict[str, float]:
+        """A copy of the row stored under ``tuple_id``."""
+        row = self._rows.get(tuple_id)
+        if row is None:
+            raise StoreError(f"tuple {tuple_id} does not exist")
+        return dict(row)
+
+    def sample_uniform(self, rng: np.random.Generator) -> int:
+        """Uniformly random tuple id — the local stage of two-stage sampling."""
+        if not self._ids:
+            raise StoreError("cannot sample from an empty store")
+        return self._ids[int(rng.integers(len(self._ids)))]
+
+    def column(self, attribute: str) -> np.ndarray:
+        """All values of one attribute, ordered by the internal id list."""
+        if attribute not in self._attributes:
+            raise StoreError(
+                f"unknown attribute {attribute!r}; schema is {self._attributes}"
+            )
+        return np.array(
+            [self._rows[tuple_id][attribute] for tuple_id in self._ids], dtype=float
+        )
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """All attributes as parallel column arrays."""
+        return {name: self.column(name) for name in self._attributes}

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the Digest reproduction.
+
+All library-specific failures derive from :class:`DigestError` so callers can
+catch a single base type. Subclasses separate user mistakes (bad query text,
+bad precision parameters) from runtime conditions (disconnected overlays,
+failed convergence) that the caller may want to handle differently.
+"""
+
+from __future__ import annotations
+
+
+class DigestError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ExpressionError(DigestError):
+    """Raised when an aggregate expression cannot be parsed or evaluated."""
+
+
+class QueryError(DigestError):
+    """Raised for malformed queries or invalid precision parameters."""
+
+
+class TopologyError(DigestError):
+    """Raised when an overlay graph violates a structural requirement.
+
+    Sampling correctness needs a connected overlay (Theorem 1 requires an
+    irreducible chain); operations that would observably break that raise
+    this error instead of silently producing a biased sampler.
+    """
+
+
+class StoreError(DigestError):
+    """Raised on invalid local-store operations (e.g. duplicate tuple id)."""
+
+
+class SamplingError(DigestError):
+    """Raised when the sampling operator cannot produce a valid sample."""
+
+
+class SimulationError(DigestError):
+    """Raised on invalid simulation-engine usage (e.g. scheduling in the past)."""

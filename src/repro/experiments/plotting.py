@@ -1,0 +1,100 @@
+"""ASCII rendering of the paper's figures.
+
+The benchmark harness reports tables; these helpers additionally render
+the figure *shapes* as plain-text charts so a terminal run of an
+experiment module shows the same curves the paper plots — no plotting
+dependency required.
+
+* :func:`ascii_chart` — multi-series line/scatter chart on a character
+  grid (Figures 4-a and 4-b).
+* :func:`ascii_bars` — horizontal bar chart with optional log scale
+  (Figure 5-a and the log-axis Figure 5-b).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, int(round(position * (size - 1)))))
+
+
+def ascii_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``label -> (xs, ys)`` series as a character-grid chart."""
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart must be at least 10x4 characters")
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    if not all_x:
+        raise ValueError("series contain no points")
+    x_low, x_high = min(all_x), max(all_x)
+    y_low, y_high = min(all_y), max(all_y)
+    if y_low == y_high:
+        y_low, y_high = y_low - 1.0, y_high + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (label, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {label}")
+        for x, y in zip(xs, ys):
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={y_high:g}, bottom={y_low:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_low:g} .. {x_high:g}")
+    lines.append(" " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str | None = None,
+    log: bool = False,
+) -> str:
+    """Render ``label -> value`` as horizontal bars (optionally log scale)."""
+    if not values:
+        raise ValueError("no bars to plot")
+    if any(value < 0 for value in values.values()):
+        raise ValueError("bar values must be non-negative")
+    if log and any(value <= 0 for value in values.values()):
+        raise ValueError("log-scale bars need strictly positive values")
+
+    def transform(value: float) -> float:
+        return math.log10(value) if log else value
+
+    maximum = max(transform(value) for value in values.values())
+    minimum = 0.0 if not log else min(transform(v) for v in values.values()) - 0.5
+    span = max(maximum - minimum, 1e-12)
+    label_width = max(len(label) for label in values)
+    lines = []
+    if title:
+        lines.append(title + (" (log scale)" if log else ""))
+    for label, value in values.items():
+        length = max(1, int(round((transform(value) - minimum) / span * width)))
+        lines.append(f"{label.rjust(label_width)} |{'#' * length} {value:g}")
+    return "\n".join(lines)

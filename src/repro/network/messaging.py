@@ -1,0 +1,99 @@
+"""Hop-level message accounting.
+
+Every figure in the paper's evaluation is denominated either in *samples*
+or in *messages sent from node to node* (Section VI-B3). The cost model is:
+
+* one random-walk step = one message (the sampling agent is forwarded over
+  one overlay link);
+* returning a sampled node/tuple to the originator = the hop distance from
+  the sampled node to the originator;
+* pushing a tuple value to the querying node (push-based baselines) = the
+  hop distance from the owning node to the querying node;
+* local computation is free.
+
+:class:`MessageLedger` tallies messages by category so experiments can
+report both totals and breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MessageLedger:
+    """Mutable counter set for overlay traffic.
+
+    Categories
+    ----------
+    walk_steps:
+        Sampling-agent forwards (Metropolis walk transitions, including
+        rejected proposals, which still require the one-hop weight probe;
+        lazy self-loops are free because no message leaves the node).
+    sample_returns:
+        Messages spent returning a sample to the originating node.
+    pushes:
+        Tuple values pushed to the querying node by push-based baselines.
+    control:
+        Everything else (filter reallocations, query dissemination, ...).
+    """
+
+    walk_steps: int = 0
+    sample_returns: int = 0
+    pushes: int = 0
+    control: int = 0
+    _by_label: dict[str, int] = field(default_factory=dict)
+
+    def record_walk_steps(self, count: int) -> None:
+        self._check(count)
+        self.walk_steps += count
+
+    def record_sample_return(self, hops: int) -> None:
+        self._check(hops)
+        self.sample_returns += hops
+
+    def record_push(self, hops: int) -> None:
+        self._check(hops)
+        self.pushes += hops
+
+    def record_control(self, count: int, label: str = "control") -> None:
+        self._check(count)
+        self.control += count
+        self._by_label[label] = self._by_label.get(label, 0) + count
+
+    @property
+    def total(self) -> int:
+        """All messages across categories."""
+        return self.walk_steps + self.sample_returns + self.pushes + self.control
+
+    def breakdown(self) -> dict[str, int]:
+        """Per-category message counts (labels folded into ``control``)."""
+        result = {
+            "walk_steps": self.walk_steps,
+            "sample_returns": self.sample_returns,
+            "pushes": self.pushes,
+            "control": self.control,
+        }
+        result.update({f"control:{k}": v for k, v in self._by_label.items()})
+        return result
+
+    def merge(self, other: "MessageLedger") -> None:
+        """Fold ``other``'s counts into this ledger."""
+        self.walk_steps += other.walk_steps
+        self.sample_returns += other.sample_returns
+        self.pushes += other.pushes
+        self.control += other.control
+        for label, count in other._by_label.items():
+            self._by_label[label] = self._by_label.get(label, 0) + count
+
+    def reset(self) -> None:
+        self.walk_steps = 0
+        self.sample_returns = 0
+        self.pushes = 0
+        self.control = 0
+        self._by_label.clear()
+
+    @staticmethod
+    def _check(count: int) -> None:
+        if count < 0:
+            raise ValueError(f"message counts must be non-negative, got {count}")

@@ -1,0 +1,39 @@
+"""Message-level execution of the sampling protocol.
+
+The rest of the library simulates random walks *mathematically* (batched
+transitions on a frozen snapshot) and counts one message per proposal —
+the paper's cost model. This package executes the walk as an actual
+distributed protocol over the event simulator: tokens hop node-to-node
+with per-hop latency, nodes act only on local state, and every message is
+a scheduled delivery. It exists to validate that
+
+1. the protocol-executed walk samples the same distribution the transition
+   matrix predicts (the math and the protocol agree), and
+2. the abstract one-message-per-proposal cost model is *bracketed* by the
+   two realizable protocols:
+
+   * ``"bounce"`` — the token is optimistically forwarded; the receiver
+     evaluates Metropolis acceptance with its own weight and bounces the
+     token back on rejection. No steady-state overhead; accepted moves
+     cost 1 message, rejected 2.
+   * ``"cached"`` — neighbors advertise their weights on every change, so
+     the sender evaluates acceptance locally and rejected proposals cost
+     nothing; the advertisement traffic is the price.
+
+See :mod:`repro.experiments.protocol_validation` for the measurements.
+"""
+
+from repro.protocol.messages import (
+    SampleReturn,
+    WalkToken,
+    WeightAdvertisement,
+)
+from repro.protocol.runtime import ProtocolConfig, ProtocolSampler
+
+__all__ = [
+    "ProtocolConfig",
+    "ProtocolSampler",
+    "SampleReturn",
+    "WalkToken",
+    "WeightAdvertisement",
+]

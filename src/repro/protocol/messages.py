@@ -1,0 +1,58 @@
+"""Message types of the sampling protocol.
+
+Every message is an immutable record delivered by the runtime after its
+hop latency; handlers run at the *receiving* node with only that node's
+local state in scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WalkToken:
+    """The sampling agent, forwarded node to node.
+
+    ``steps_remaining`` counts chain transitions still to perform
+    (including the one being decided). For the bounce variant the token
+    carries the sender's ``(weight, degree)`` so the receiver can evaluate
+    the Metropolis acceptance without a probe round trip.
+    """
+
+    walker_id: int
+    origin: int
+    steps_remaining: int
+    sender: int
+    sender_weight: float
+    sender_degree: int
+
+
+@dataclass(frozen=True)
+class BounceBack:
+    """Rejection bounce: the token returns to the proposing node."""
+
+    walker_id: int
+    origin: int
+    steps_remaining: int
+
+
+@dataclass(frozen=True)
+class SampleReturn:
+    """A finished walk reporting its final position back to the origin.
+
+    Routed along the shortest overlay path; each hop is one message.
+    """
+
+    walker_id: int
+    origin: int
+    sampled_node: int
+    hops_remaining: int
+
+
+@dataclass(frozen=True)
+class WeightAdvertisement:
+    """Cached-variant control traffic: a node's new weight, to a neighbor."""
+
+    source: int
+    weight: float

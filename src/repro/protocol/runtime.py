@@ -1,0 +1,338 @@
+"""The protocol runtime: node handlers + message delivery.
+
+Executes Metropolis sampling walks as scheduled message deliveries on a
+:class:`~repro.sim.engine.SimulationEngine`. Each delivery runs the
+receiving node's handler, which may send further messages; a walk
+terminates by routing a :class:`SampleReturn` hop-by-hop back to its
+origin. All messages are tallied on a :class:`MessageLedger` with the
+same categories the abstract model uses, so costs are directly
+comparable.
+
+Locality discipline: handlers may read only (a) the receiving node's own
+weight/degree/neighbor list and (b) the message contents. The one
+exception is shortest-path return routing, which uses precomputed hop
+distances as a stand-in for the origin-rooted routing state a real
+deployment would piggyback on the walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SamplingError, TopologyError
+from repro.network.graph import OverlayGraph
+from repro.network.messaging import MessageLedger
+from repro.protocol.messages import SampleReturn, WalkToken
+from repro.sampling.weights import WeightFunction
+from repro.sim.engine import SimulationEngine
+
+VARIANTS = ("bounce", "cached")
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Protocol variant and timing.
+
+    ``hop_latency`` is the delivery delay of one overlay hop in simulator
+    ticks; ``laziness`` is the Metropolis self-loop mass (lazy steps burn
+    a tick but no message).
+    """
+
+    variant: str = "bounce"
+    hop_latency: int = 1
+    laziness: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise SamplingError(
+                f"variant must be one of {VARIANTS}, got {self.variant!r}"
+            )
+        if self.hop_latency < 1:
+            raise SamplingError(
+                f"hop_latency must be >= 1, got {self.hop_latency}"
+            )
+        if not 0.0 <= self.laziness < 1.0:
+            raise SamplingError(
+                f"laziness must be in [0, 1), got {self.laziness}"
+            )
+
+
+@dataclass
+class _WalkOutcome:
+    walker_id: int
+    sampled_node: int
+    completed_at: int
+
+
+class ProtocolSampler:
+    """Distributed Metropolis sampling as a real message protocol."""
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        weight: WeightFunction,
+        simulation: SimulationEngine,
+        rng: np.random.Generator,
+        ledger: MessageLedger | None = None,
+        config: ProtocolConfig | None = None,
+    ):
+        if not graph.is_connected():
+            raise TopologyError("the protocol needs a connected overlay")
+        self._graph = graph
+        self._weight = weight
+        self._simulation = simulation
+        self._rng = rng
+        self.ledger = ledger if ledger is not None else MessageLedger()
+        self._config = config if config is not None else ProtocolConfig()
+        self._outcomes: dict[int, _WalkOutcome] = {}
+        self._next_walker = 0
+        self._cached_weights: dict[int, dict[int, float]] = {}
+        self.advertisements_sent = 0
+        self.bounces = 0
+        if self._config.variant == "cached":
+            self._initial_advertisement_flood()
+
+    # ------------------------------------------------------------------
+    # cached-variant weight advertisement
+    # ------------------------------------------------------------------
+
+    def _initial_advertisement_flood(self) -> None:
+        """Every node advertises its weight to every neighbor (setup)."""
+        for node in self._graph.nodes():
+            self._cached_weights[node] = {}
+        for node in self._graph.nodes():
+            weight = self._weight(node)
+            for neighbor in self._graph.neighbors(node):
+                self._deliver_advertisement(neighbor, node, weight)
+
+    def _deliver_advertisement(
+        self, to_node: int, source: int, weight: float
+    ) -> None:
+        self.ledger.record_control(1, label="weight_advertisement")
+        self.advertisements_sent += 1
+        self._cached_weights.setdefault(to_node, {})[source] = weight
+
+    def notify_weight_change(self, node: int) -> None:
+        """Cached variant: ``node``'s weight changed, re-advertise it.
+
+        Call this whenever the weight function's value for a node changes
+        (e.g. content size after inserts/deletes). The bounce variant
+        needs no such calls — its correctness never depends on caches.
+        """
+        if self._config.variant != "cached":
+            return
+        weight = self._weight(node)
+        for neighbor in self._graph.neighbors(node):
+            self._deliver_advertisement(neighbor, node, weight)
+
+    # ------------------------------------------------------------------
+    # walk initiation
+    # ------------------------------------------------------------------
+
+    def start_walk(self, origin: int, walk_length: int) -> int:
+        """Launch one sampling walk; returns its walker id."""
+        if origin not in self._graph:
+            raise SamplingError(f"origin {origin} is not in the overlay")
+        if walk_length < 1:
+            raise SamplingError(f"walk_length must be >= 1, got {walk_length}")
+        walker_id = self._next_walker
+        self._next_walker += 1
+
+        def begin(time: int) -> None:
+            self._decide_step(walker_id, origin, origin, walk_length)
+
+        self._simulation.schedule_in(0, begin)
+        return walker_id
+
+    def run_walks(
+        self, origin: int, n: int, walk_length: int
+    ) -> list[int]:
+        """Launch ``n`` walks, drain the simulator, return sampled nodes."""
+        walker_ids = [self.start_walk(origin, walk_length) for _ in range(n)]
+        self._simulation.run_all()
+        missing = [w for w in walker_ids if w not in self._outcomes]
+        if missing:
+            raise SamplingError(f"walks {missing[:5]} never completed")
+        return [self._outcomes[w].sampled_node for w in walker_ids]
+
+    def outcome(self, walker_id: int) -> _WalkOutcome | None:
+        return self._outcomes.get(walker_id)
+
+    # ------------------------------------------------------------------
+    # per-node protocol logic
+    # ------------------------------------------------------------------
+
+    def _decide_step(
+        self, walker_id: int, origin: int, node: int, steps_remaining: int
+    ) -> None:
+        """The node holding the token decides one chain transition."""
+        if steps_remaining <= 0:
+            self._begin_return(walker_id, origin, node)
+            return
+        config = self._config
+        if config.laziness > 0.0 and self._rng.random() < config.laziness:
+            # lazy self-loop: burns a tick, sends nothing
+            self._simulation.schedule_in(
+                config.hop_latency,
+                lambda t: self._decide_step(
+                    walker_id, origin, node, steps_remaining - 1
+                ),
+            )
+            return
+        neighbors = self._graph.neighbors(node)
+        if not neighbors:
+            raise TopologyError(f"node {node} became isolated mid-walk")
+        target = neighbors[int(self._rng.integers(len(neighbors)))]
+        if config.variant == "cached":
+            self._cached_step(walker_id, origin, node, target, steps_remaining)
+        else:
+            self._bounce_step(walker_id, origin, node, target, steps_remaining)
+
+    def _acceptance(self, w_i: float, d_i: int, w_j: float, d_j: int) -> float:
+        if w_i == 0.0:
+            return 1.0
+        return min(1.0, (w_j * d_i) / (w_i * d_j))
+
+    def _cached_step(
+        self,
+        walker_id: int,
+        origin: int,
+        node: int,
+        target: int,
+        steps_remaining: int,
+    ) -> None:
+        """Cached variant: decide locally; only accepted moves send."""
+        cached = self._cached_weights.get(node, {}).get(target)
+        if cached is None:
+            raise SamplingError(
+                f"node {node} has no cached weight for neighbor {target}; "
+                "was notify_weight_change skipped after a topology change?"
+            )
+        accept = self._acceptance(
+            self._weight(node),
+            self._graph.degree(node),
+            cached,
+            self._graph.degree(target),
+        )
+        if self._rng.random() < accept:
+            token = WalkToken(
+                walker_id=walker_id,
+                origin=origin,
+                steps_remaining=steps_remaining - 1,
+                sender=node,
+                sender_weight=self._weight(node),
+                sender_degree=self._graph.degree(node),
+            )
+            self._send_token(token, target)
+        else:
+            # rejected proposal: no message at all in this variant
+            self._simulation.schedule_in(
+                self._config.hop_latency,
+                lambda t: self._decide_step(
+                    walker_id, origin, node, steps_remaining - 1
+                ),
+            )
+
+    def _bounce_step(
+        self,
+        walker_id: int,
+        origin: int,
+        node: int,
+        target: int,
+        steps_remaining: int,
+    ) -> None:
+        """Bounce variant: forward optimistically; receiver may bounce."""
+        token = WalkToken(
+            walker_id=walker_id,
+            origin=origin,
+            steps_remaining=steps_remaining,
+            sender=node,
+            sender_weight=self._weight(node),
+            sender_degree=self._graph.degree(node),
+        )
+        self._send_token(token, target, evaluate_at_receiver=True)
+
+    def _send_token(
+        self, token: WalkToken, to_node: int, evaluate_at_receiver: bool = False
+    ) -> None:
+        self.ledger.record_walk_steps(1)
+
+        def deliver(time: int) -> None:
+            if evaluate_at_receiver:
+                self._receive_optimistic_token(token, to_node)
+            else:
+                self._decide_step(
+                    token.walker_id, token.origin, to_node, token.steps_remaining
+                )
+
+        self._simulation.schedule_in(self._config.hop_latency, deliver)
+
+    def _receive_optimistic_token(self, token: WalkToken, node: int) -> None:
+        """Bounce variant, receiver side: accept or bounce back."""
+        accept = self._acceptance(
+            token.sender_weight,
+            token.sender_degree,
+            self._weight(node),
+            self._graph.degree(node),
+        )
+        if self._rng.random() < accept:
+            self._decide_step(
+                token.walker_id, token.origin, node, token.steps_remaining - 1
+            )
+        else:
+            self.bounces += 1
+            self.ledger.record_walk_steps(1)  # the bounce message
+
+            def bounce(time: int) -> None:
+                self._decide_step(
+                    token.walker_id,
+                    token.origin,
+                    token.sender,
+                    token.steps_remaining - 1,
+                )
+
+            self._simulation.schedule_in(self._config.hop_latency, bounce)
+
+    # ------------------------------------------------------------------
+    # sample return routing
+    # ------------------------------------------------------------------
+
+    def _begin_return(self, walker_id: int, origin: int, node: int) -> None:
+        distances = self._graph.hop_distances(origin)
+        hops = distances.get(node)
+        if hops is None:
+            raise TopologyError(
+                f"sampled node {node} cannot reach the origin {origin}"
+            )
+        self._route_return(
+            SampleReturn(
+                walker_id=walker_id,
+                origin=origin,
+                sampled_node=node,
+                hops_remaining=hops,
+            )
+        )
+
+    def _route_return(self, message: SampleReturn) -> None:
+        if message.hops_remaining <= 0:
+            self._outcomes[message.walker_id] = _WalkOutcome(
+                walker_id=message.walker_id,
+                sampled_node=message.sampled_node,
+                completed_at=self._simulation.now,
+            )
+            return
+        self.ledger.record_sample_return(1)
+
+        def deliver(time: int) -> None:
+            self._route_return(
+                SampleReturn(
+                    walker_id=message.walker_id,
+                    origin=message.origin,
+                    sampled_node=message.sampled_node,
+                    hops_remaining=message.hops_remaining - 1,
+                )
+            )
+
+        self._simulation.schedule_in(self._config.hop_latency, deliver)

@@ -1,0 +1,41 @@
+"""Discrete simulation time.
+
+A thin, explicit clock object shared by the engine and its clients so "what
+time is it" has exactly one source of truth. Time is a non-negative integer
+step count; the mapping to wall-clock time is workload-defined.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimulationClock:
+    """Monotone integer clock."""
+
+    def __init__(self, start: int = 0):
+        if start < 0:
+            raise SimulationError(f"time must be non-negative, got {start}")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def advance_to(self, time: int) -> None:
+        """Move the clock forward to ``time`` (never backwards)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards from {self._now} to {time}"
+            )
+        self._now = time
+
+    def tick(self, steps: int = 1) -> int:
+        """Advance by ``steps`` and return the new time."""
+        if steps < 0:
+            raise SimulationError(f"cannot tick by negative steps ({steps})")
+        self._now += steps
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulationClock(now={self._now})"

@@ -1,0 +1,163 @@
+"""Tests for the ALL+FILTER adaptive-filter baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.olston_filter import FilterConfig, OlstonFilterBaseline
+from repro.core.query import parse_query
+from repro.db.expression import Expression
+from repro.db.relation import P2PDatabase, Schema
+from repro.errors import QueryError
+from repro.network.graph import OverlayGraph
+from repro.network.topology import mesh_topology
+
+
+def _world(n_nodes=16, per_node=3, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = OverlayGraph(mesh_topology(n_nodes), n_nodes=n_nodes)
+    database = P2PDatabase(Schema(("v",)), graph.nodes())
+    tids = []
+    for node in graph.nodes():
+        for _ in range(per_node):
+            tids.append(database.insert(node, {"v": float(rng.normal(0, 5))}))
+    return graph, database, tids
+
+
+def _baseline(graph, database, epsilon=1.0, **kwargs):
+    return OlstonFilterBaseline(
+        graph,
+        database,
+        parse_query("SELECT AVG(v) FROM R"),
+        origin=0,
+        config=FilterConfig(epsilon_bound=epsilon, **kwargs),
+    )
+
+
+class TestConfig:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(QueryError):
+            FilterConfig(epsilon_bound=0.0)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(QueryError):
+            FilterConfig(epsilon_bound=1.0, adjustment_period=0)
+
+    def test_rejects_bad_shrink(self):
+        with pytest.raises(QueryError):
+            FilterConfig(epsilon_bound=1.0, shrink_fraction=1.0)
+
+    def test_avg_only(self):
+        graph, database, _ = _world()
+        with pytest.raises(QueryError, match="AVG"):
+            OlstonFilterBaseline(
+                graph,
+                database,
+                parse_query("SELECT SUM(v) FROM R"),
+                origin=0,
+                config=FilterConfig(epsilon_bound=1.0),
+            )
+
+
+class TestGuarantee:
+    def test_error_within_bound_always(self):
+        """The filter answer is deterministically within epsilon of truth."""
+        graph, database, tids = _world()
+        epsilon = 1.5
+        baseline = _baseline(graph, database, epsilon=epsilon)
+        rng = np.random.default_rng(1)
+        for t in range(40):
+            for tid in tids:
+                current = database.read(tid)["v"]
+                database.update(tid, {"v": current + float(rng.normal(0, 0.4))})
+            answer = baseline.step(t)
+            truth = float(database.exact_values(Expression("v")).mean())
+            assert abs(answer - truth) <= epsilon + 1e-9
+
+    def test_guaranteed_half_width_within_budget(self):
+        graph, database, tids = _world()
+        baseline = _baseline(graph, database, epsilon=2.0)
+        rng = np.random.default_rng(2)
+        for t in range(20):
+            for tid in tids:
+                database.update(tid, {"v": float(rng.normal(0, 5))})
+            baseline.step(t)
+        # reallocation conserves (or shrinks) the total width budget
+        assert baseline.guaranteed_half_width() <= 2.0 + 1e-9
+
+
+class TestAdaptivity:
+    def test_static_values_push_nothing(self):
+        graph, database, tids = _world()
+        baseline = _baseline(graph, database, epsilon=1.0)
+        bootstrap = baseline.total_pushes
+        for t in range(10):
+            baseline.step(t)
+        assert baseline.total_pushes == bootstrap
+
+    def test_large_changes_push(self):
+        graph, database, tids = _world()
+        baseline = _baseline(graph, database, epsilon=0.5)
+        before = baseline.total_pushes
+        for tid in tids:
+            database.update(tid, {"v": 100.0})
+        baseline.step(0)
+        # origin-hosted tuples are local and never travel
+        remote = sum(1 for tid in tids if database.locate(tid) != 0)
+        assert baseline.total_pushes == before + remote
+
+    def test_filters_cheaper_than_push_all_on_sparse_changes(self):
+        """Few volatile objects: filters must beat pushing everything."""
+        from repro.baselines.push_all import PushAllBaseline
+
+        graph, database, tids = _world(per_node=4)
+        volatile = tids[:5]
+        filter_baseline = _baseline(graph, database, epsilon=1.0)
+        push_baseline = PushAllBaseline(
+            graph, database, parse_query("SELECT AVG(v) FROM R"), origin=0
+        )
+        rng = np.random.default_rng(3)
+        for t in range(30):
+            for tid in volatile:
+                database.update(tid, {"v": float(rng.normal(0, 50))})
+            filter_baseline.step(t)
+            push_baseline.step(t)
+        assert filter_baseline.ledger.total < push_baseline.ledger.total / 3
+
+    def test_reallocation_grows_streamers(self):
+        graph, database, tids = _world()
+        baseline = _baseline(
+            graph, database, epsilon=1.0, adjustment_period=5, shrink_fraction=0.2
+        )
+        volatile = tids[0]
+        default_width = 2.0
+        rng = np.random.default_rng(4)
+        for t in range(25):
+            database.update(volatile, {"v": float(rng.normal(0, 50))})
+            baseline.step(t)
+        assert baseline.reallocations >= 4
+        # the streaming object accumulated width beyond the default
+        assert baseline._widths[volatile] > default_width
+        # quiet objects gave up width
+        quiet = tids[-1]
+        assert baseline._widths[quiet] < default_width
+
+
+class TestChurn:
+    def test_new_tuples_registered(self):
+        graph, database, tids = _world()
+        baseline = _baseline(graph, database, epsilon=1.0)
+        baseline.step(0)
+        new = database.insert(0, {"v": 7.0})
+        answer = baseline.step(1)
+        truth = float(database.exact_values(Expression("v")).mean())
+        assert abs(answer - truth) <= 1.0 + 1e-9
+
+    def test_deleted_tuples_forgotten(self):
+        graph, database, tids = _world()
+        baseline = _baseline(graph, database, epsilon=1.0)
+        baseline.step(0)
+        for tid in tids[:10]:
+            database.delete(tid)
+        answer = baseline.step(1)
+        truth = float(database.exact_values(Expression("v")).mean())
+        assert abs(answer - truth) <= 1.0 + 1e-9

@@ -1,0 +1,76 @@
+"""Tests for the ALL+ALL push-everything baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.push_all import PushAllBaseline
+from repro.core.query import parse_query
+from repro.db.expression import Expression
+from repro.db.relation import P2PDatabase, Schema
+from repro.errors import QueryError
+from repro.network.graph import OverlayGraph
+from repro.network.topology import line_topology
+
+
+@pytest.fixture
+def world():
+    # line 0-1-2: known hop distances
+    graph = OverlayGraph(line_topology(3), n_nodes=3)
+    database = P2PDatabase(Schema(("v",)), graph.nodes())
+    database.insert(0, {"v": 1.0})
+    database.insert(1, {"v": 2.0})
+    database.insert(1, {"v": 3.0})
+    database.insert(2, {"v": 6.0})
+    return graph, database
+
+
+def test_exact_result(world):
+    graph, database = world
+    baseline = PushAllBaseline(graph, database, parse_query("SELECT AVG(v) FROM R"), origin=0)
+    assert baseline.step(0) == pytest.approx(3.0)
+    assert baseline.result.value_at(0) == pytest.approx(3.0)
+
+
+def test_message_accounting_by_hops(world):
+    graph, database = world
+    baseline = PushAllBaseline(graph, database, parse_query("SELECT AVG(v) FROM R"), origin=0)
+    baseline.step(0)
+    # node 1: 2 tuples x 1 hop; node 2: 1 tuple x 2 hops; origin free
+    assert baseline.ledger.pushes == 2 * 1 + 1 * 2
+
+
+def test_cost_scales_with_steps(world):
+    graph, database = world
+    baseline = PushAllBaseline(graph, database, parse_query("SELECT AVG(v) FROM R"), origin=0)
+    for t in range(5):
+        baseline.step(t)
+    assert baseline.ledger.pushes == 5 * 4
+    assert baseline.metrics.snapshot_queries == 5
+
+
+def test_sum_query(world):
+    graph, database = world
+    baseline = PushAllBaseline(graph, database, parse_query("SELECT SUM(v) FROM R"), origin=0)
+    assert baseline.step(0) == pytest.approx(12.0)
+
+
+def test_tracks_updates(world):
+    graph, database = world
+    baseline = PushAllBaseline(graph, database, parse_query("SELECT AVG(v) FROM R"), origin=0)
+    baseline.step(0)
+    database.update(0, {"v": 13.0})
+    assert baseline.step(1) == pytest.approx(6.0)
+
+
+def test_unknown_origin_rejected(world):
+    graph, database = world
+    with pytest.raises(QueryError):
+        PushAllBaseline(graph, database, parse_query("SELECT AVG(v) FROM R"), origin=9)
+
+
+def test_empty_relation_rejected():
+    graph = OverlayGraph(line_topology(2), n_nodes=2)
+    database = P2PDatabase(Schema(("v",)), graph.nodes())
+    baseline = PushAllBaseline(graph, database, parse_query("SELECT AVG(v) FROM R"), origin=0)
+    with pytest.raises(QueryError):
+        baseline.step(0)

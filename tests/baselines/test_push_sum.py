@@ -1,0 +1,120 @@
+"""Tests for the push-sum gossip baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.push_sum import PushSumBaseline
+from repro.core.query import parse_query
+from repro.db.expression import Expression
+from repro.db.relation import P2PDatabase, Schema
+from repro.errors import QueryError
+from repro.network.graph import OverlayGraph
+from repro.network.topology import mesh_topology, power_law_topology
+
+
+def _world(n=49, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = OverlayGraph(mesh_topology(n), n_nodes=n)
+    database = P2PDatabase(Schema(("v",)), graph.nodes())
+    for node in graph.nodes():
+        for _ in range(1 + int(rng.integers(0, 4))):
+            database.insert(node, {"v": float(rng.normal(10, 3))})
+    return graph, database
+
+
+def _baseline(graph, database, seed=1, **kwargs):
+    return PushSumBaseline(
+        graph,
+        database,
+        parse_query("SELECT AVG(v) FROM R"),
+        origin=0,
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_avg_only(self):
+        graph, database = _world()
+        with pytest.raises(QueryError, match="AVG"):
+            PushSumBaseline(
+                graph,
+                database,
+                parse_query("SELECT SUM(v) FROM R"),
+                origin=0,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_no_predicates(self):
+        graph, database = _world()
+        with pytest.raises(QueryError, match="predicate"):
+            PushSumBaseline(
+                graph,
+                database,
+                parse_query("SELECT AVG(v) FROM R WHERE v > 0"),
+                origin=0,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_unknown_origin(self):
+        graph, database = _world()
+        with pytest.raises(QueryError):
+            PushSumBaseline(
+                graph,
+                database,
+                parse_query("SELECT AVG(v) FROM R"),
+                origin=10**6,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_empty_relation(self):
+        graph = OverlayGraph(mesh_topology(9), n_nodes=9)
+        database = P2PDatabase(Schema(("v",)), graph.nodes())
+        baseline = _baseline(graph, database)
+        with pytest.raises(QueryError):
+            baseline.run_snapshot()
+
+
+class TestConvergence:
+    def test_converges_to_true_average(self):
+        graph, database = _world()
+        truth = float(database.exact_values(Expression("v")).mean())
+        run = _baseline(graph, database, tolerance=1e-6).run_snapshot()
+        assert run.estimate == pytest.approx(truth, abs=1e-4)
+        assert run.max_disagreement <= 1e-6 * max(1.0, abs(truth))
+
+    def test_mass_conservation_is_exact(self):
+        """Push-sum never loses mass, so convergence is to the exact mean."""
+        graph, database = _world(seed=3)
+        truth = float(database.exact_values(Expression("v")).mean())
+        run = _baseline(graph, database, seed=4, tolerance=1e-9).run_snapshot()
+        assert run.estimate == pytest.approx(truth, abs=1e-6)
+
+    def test_message_accounting(self):
+        graph, database = _world()
+        baseline = _baseline(graph, database)
+        run = baseline.run_snapshot()
+        assert run.messages == len(graph) * run.rounds
+        assert baseline.ledger.total == run.messages
+
+    def test_rounds_grow_logarithmically(self):
+        """Rounds on expanders grow ~log N, not linearly."""
+        rng = np.random.default_rng(5)
+        rounds = {}
+        for n in (64, 512):
+            graph = OverlayGraph(power_law_topology(n, rng=rng), n_nodes=n)
+            database = P2PDatabase(Schema(("v",)), graph.nodes())
+            gen = np.random.default_rng(6)
+            for node in graph.nodes():
+                database.insert(node, {"v": float(gen.normal(0, 1))})
+            run = _baseline(graph, database, seed=7).run_snapshot()
+            rounds[n] = run.rounds
+        assert rounds[512] < 4 * rounds[64]  # 8x nodes, <4x rounds
+
+    def test_works_with_empty_nodes(self):
+        graph = OverlayGraph(mesh_topology(16), n_nodes=16)
+        database = P2PDatabase(Schema(("v",)), graph.nodes())
+        for node in range(8):
+            database.insert(node, {"v": float(node)})
+        run = _baseline(graph, database, tolerance=1e-6).run_snapshot()
+        assert run.estimate == pytest.approx(3.5, abs=1e-3)

@@ -1,0 +1,136 @@
+"""Tests for the TAG-style tree-aggregation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tree_aggregation import TreeAggregationBaseline
+from repro.core.query import parse_query
+from repro.db.expression import Expression
+from repro.db.relation import P2PDatabase, Schema
+from repro.errors import QueryError
+from repro.network.graph import OverlayGraph
+from repro.network.topology import mesh_topology
+
+
+def _world(n=25, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = OverlayGraph(mesh_topology(n), n_nodes=n)
+    database = P2PDatabase(Schema(("v",)), graph.nodes())
+    for node in graph.nodes():
+        for _ in range(2):
+            database.insert(node, {"v": float(rng.normal(5, 2))})
+    return graph, database
+
+
+def _baseline(graph, database, **kwargs):
+    return TreeAggregationBaseline(
+        graph, database, parse_query("SELECT AVG(v) FROM R"), origin=0, **kwargs
+    )
+
+
+class TestValidation:
+    def test_avg_only(self):
+        graph, database = _world()
+        with pytest.raises(QueryError, match="AVG"):
+            TreeAggregationBaseline(
+                graph, database, parse_query("SELECT COUNT(v) FROM R"), origin=0
+            )
+
+    def test_rejects_bad_interval(self):
+        graph, database = _world()
+        with pytest.raises(QueryError):
+            _baseline(graph, database, rebuild_interval=0)
+
+
+class TestStaticWorld:
+    def test_exact_without_churn(self):
+        graph, database = _world()
+        truth = float(database.exact_values(Expression("v")).mean())
+        baseline = _baseline(graph, database)
+        for t in range(5):
+            snapshot = baseline.step(t)
+            assert snapshot.estimate == pytest.approx(truth)
+            assert snapshot.nodes_lost == 0
+            assert snapshot.nodes_included == len(graph)
+
+    def test_message_costs(self):
+        graph, database = _world()
+        baseline = _baseline(graph, database, rebuild_interval=100)
+        baseline.step(0)
+        # one rebuild flood + one message per non-root node
+        assert baseline.ledger.breakdown()["control:tree_rebuild"] == (
+            2 * graph.n_edges()
+        )
+        assert baseline.ledger.pushes == len(graph) - 1
+        baseline.step(1)  # no rebuild
+        assert baseline.rebuilds == 1
+
+    def test_rebuild_interval_respected(self):
+        graph, database = _world()
+        baseline = _baseline(graph, database, rebuild_interval=2)
+        for t in range(6):
+            baseline.step(t)
+        assert baseline.rebuilds == 3  # t=0, 2, 4
+
+    def test_tracks_updates(self):
+        graph, database = _world()
+        baseline = _baseline(graph, database)
+        baseline.step(0)
+        for tid, _, _ in list(database.iter_tuples()):
+            database.update(tid, {"v": 42.0})
+        assert baseline.step(1).estimate == pytest.approx(42.0)
+
+
+class TestFragmentation:
+    def test_departed_subtree_excluded(self):
+        """Cutting a node near the root silently loses its whole subtree."""
+        # path graph: 0-1-2-3-4; subtree of 1 = {1,2,3,4}
+        graph = OverlayGraph([(0, 1), (1, 2), (2, 3), (3, 4)])
+        database = P2PDatabase(Schema(("v",)), graph.nodes())
+        for node in graph.nodes():
+            database.insert(node, {"v": float(node * 10)})
+        baseline = _baseline(graph, database, rebuild_interval=100)
+        truth_full = 20.0
+        assert baseline.step(0).estimate == pytest.approx(truth_full)
+        # node 1 leaves; rewiring bridges 0-2 in the overlay, but the TREE
+        # still routes 2..4 through the departed node until rebuild
+        graph.leave(1)
+        database.remove_node(1)
+        snapshot = baseline.step(1)
+        assert snapshot.nodes_lost == 3  # 2, 3, 4 orphaned
+        assert snapshot.estimate == pytest.approx(0.0)  # only the root left
+
+    def test_rebuild_recovers(self):
+        graph = OverlayGraph([(0, 1), (1, 2), (2, 3), (3, 4)])
+        database = P2PDatabase(Schema(("v",)), graph.nodes())
+        for node in graph.nodes():
+            database.insert(node, {"v": float(node * 10)})
+        baseline = _baseline(graph, database, rebuild_interval=2)
+        baseline.step(0)
+        graph.leave(1)
+        database.remove_node(1)
+        baseline.step(1)  # stale tree: heavy loss
+        snapshot = baseline.step(2)  # rebuild epoch
+        assert snapshot.nodes_lost == 0
+        assert snapshot.estimate == pytest.approx((0 + 20 + 30 + 40) / 4)
+
+    def test_joined_nodes_invisible_until_rebuild(self):
+        graph, database = _world(n=9)
+        baseline = _baseline(graph, database, rebuild_interval=10)
+        baseline.step(0)
+        new = graph.join(attach_to=[0])
+        database.add_node(new)
+        database.insert(new, {"v": 1000.0})
+        snapshot = baseline.step(1)
+        assert snapshot.nodes_lost == 1  # the newcomer is not in the tree
+
+    def test_fully_fragmented_raises(self):
+        graph = OverlayGraph([(0, 1)])
+        database = P2PDatabase(Schema(("v",)), graph.nodes())
+        database.insert(1, {"v": 1.0})  # root has no tuples
+        baseline = _baseline(graph, database, rebuild_interval=100)
+        baseline.step(0)
+        graph.leave(1)
+        database.remove_node(1)
+        with pytest.raises(QueryError, match="fragmented"):
+            baseline.step(1)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.relation import P2PDatabase, Schema
+from repro.network.graph import OverlayGraph
+from repro.network.topology import mesh_topology, power_law_topology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_graph() -> OverlayGraph:
+    """A 25-node connected mesh."""
+    return OverlayGraph(mesh_topology(25), n_nodes=25)
+
+
+@pytest.fixture
+def power_law_graph(rng) -> OverlayGraph:
+    """A 60-node power-law overlay."""
+    return OverlayGraph(power_law_topology(60, rng=rng), n_nodes=60)
+
+
+@pytest.fixture
+def populated_db(small_graph, rng) -> P2PDatabase:
+    """The mesh graph's relation: 1-6 single-attribute tuples per node."""
+    database = P2PDatabase(Schema(("value",)), small_graph.nodes())
+    for node in small_graph.nodes():
+        for _ in range(1 + int(rng.integers(0, 6))):
+            database.insert(node, {"value": float(rng.normal(50.0, 10.0))})
+    return database

@@ -1,0 +1,200 @@
+"""Integration tests for the Digest engine (both tiers composed)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DigestEngine, EngineConfig
+from repro.core.query import ContinuousQuery, Precision, parse_query
+from repro.db.expression import Expression
+from repro.db.relation import P2PDatabase, Schema
+from repro.errors import QueryError
+from repro.network.graph import OverlayGraph
+from repro.network.topology import mesh_topology
+from repro.sim.engine import PRIORITY_UPDATES, SimulationEngine
+
+
+def _world(seed=0, n_nodes=36, per_node=5):
+    rng = np.random.default_rng(seed)
+    graph = OverlayGraph(mesh_topology(n_nodes), n_nodes=n_nodes)
+    database = P2PDatabase(Schema(("v",)), graph.nodes())
+    tids = []
+    for node in graph.nodes():
+        for _ in range(per_node):
+            tids.append(database.insert(node, {"v": float(rng.normal(50, 8))}))
+    return graph, database, tids
+
+
+def _continuous_query(delta=4.0, epsilon=2.0, duration=30):
+    return ContinuousQuery(
+        parse_query("SELECT AVG(v) FROM R"),
+        Precision(delta=delta, epsilon=epsilon, confidence=0.95),
+        duration=duration,
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(QueryError):
+            EngineConfig(scheduler="sometimes")
+
+    def test_rejects_unknown_evaluator(self):
+        with pytest.raises(QueryError):
+            EngineConfig(evaluator="psychic")
+
+    def test_rejects_unknown_origin(self):
+        graph, database, _ = _world()
+        with pytest.raises(QueryError):
+            DigestEngine(
+                graph, database, _continuous_query(), origin=10**6,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_rejects_bad_expression(self):
+        graph, database, _ = _world()
+        continuous = ContinuousQuery(
+            parse_query("SELECT AVG(nope) FROM R"), Precision(1.0, 1.0)
+        )
+        with pytest.raises(Exception):
+            DigestEngine(
+                graph, database, continuous, origin=0,
+                rng=np.random.default_rng(0),
+            )
+
+
+class TestStepping:
+    def test_all_scheduler_queries_every_step(self):
+        graph, database, _ = _world()
+        engine = DigestEngine(
+            graph,
+            database,
+            _continuous_query(duration=10),
+            origin=0,
+            rng=np.random.default_rng(1),
+            config=EngineConfig(scheduler="all", evaluator="independent"),
+        )
+        for t in range(10):
+            assert engine.step(t) is not None
+        assert engine.metrics.snapshot_queries == 10
+
+    def test_inactive_outside_duration(self):
+        graph, database, _ = _world()
+        engine = DigestEngine(
+            graph,
+            database,
+            _continuous_query(duration=3),
+            origin=0,
+            rng=np.random.default_rng(1),
+            config=EngineConfig(scheduler="all", evaluator="independent"),
+        )
+        for t in range(6):
+            engine.step(t)
+        assert engine.metrics.snapshot_queries == 3
+
+    def test_pred_scheduler_skips(self):
+        graph, database, tids = _world()
+        engine = DigestEngine(
+            graph,
+            database,
+            _continuous_query(delta=6.0, duration=30),
+            origin=0,
+            rng=np.random.default_rng(1),
+            config=EngineConfig(scheduler="pred", evaluator="independent"),
+        )
+        rng = np.random.default_rng(2)
+        for t in range(30):
+            for tid in tids:  # slow drift
+                database.update(tid, {"v": database.read(tid)["v"] + 0.05})
+            engine.step(t)
+        assert engine.metrics.snapshot_queries < 30
+
+    def test_step_before_due_is_noop(self):
+        graph, database, _ = _world()
+        engine = DigestEngine(
+            graph,
+            database,
+            _continuous_query(duration=10),
+            origin=0,
+            rng=np.random.default_rng(1),
+            config=EngineConfig(scheduler="pred", evaluator="independent",
+                                pred_points=2),
+        )
+        engine.step(0)
+        due = engine.next_due
+        if due > 1:
+            assert engine.step(due - 1) is None  # not due yet
+
+    def test_running_result_tracks_truth(self):
+        graph, database, _ = _world()
+        engine = DigestEngine(
+            graph,
+            database,
+            _continuous_query(epsilon=1.5, duration=5),
+            origin=0,
+            rng=np.random.default_rng(3),
+            config=EngineConfig(scheduler="all", evaluator="repeated"),
+        )
+        for t in range(5):
+            engine.step(t)
+        truth = float(database.exact_values(Expression("v")).mean())
+        assert abs(engine.current_estimate(4) - truth) < 3.0
+
+    def test_metrics_accumulate(self):
+        graph, database, _ = _world()
+        engine = DigestEngine(
+            graph,
+            database,
+            _continuous_query(duration=4),
+            origin=0,
+            rng=np.random.default_rng(1),
+            config=EngineConfig(scheduler="all", evaluator="repeated"),
+        )
+        for t in range(4):
+            engine.step(t)
+        metrics = engine.metrics
+        assert metrics.samples_total == metrics.samples_fresh + metrics.samples_retained
+        assert metrics.has_series("estimate")
+        assert len(metrics.series("estimate")) == 4
+        assert engine.ledger.total > 0
+
+
+class TestSimulationAttachment:
+    def test_attach_runs_like_manual_loop(self):
+        graph, database, _ = _world()
+        engine = DigestEngine(
+            graph,
+            database,
+            _continuous_query(duration=8),
+            origin=0,
+            rng=np.random.default_rng(5),
+            config=EngineConfig(scheduler="all", evaluator="independent"),
+        )
+        simulation = SimulationEngine()
+        engine.attach(simulation)
+        simulation.run_until(20)
+        assert engine.metrics.snapshot_queries == 8
+
+    def test_attach_respects_update_priority(self):
+        """Engine queries run after same-step data updates."""
+        graph, database, tids = _world()
+        engine = DigestEngine(
+            graph,
+            database,
+            _continuous_query(duration=3, epsilon=0.5),
+            origin=0,
+            rng=np.random.default_rng(5),
+            config=EngineConfig(scheduler="all", evaluator="independent"),
+        )
+        simulation = SimulationEngine()
+        seen = []
+
+        def bump(time):
+            for tid in tids:
+                database.update(tid, {"v": 100.0 + time})
+            seen.append(time)
+
+        simulation.schedule_every(1, bump, PRIORITY_UPDATES, until=2)
+        engine.attach(simulation)
+        simulation.run_until(5)
+        # each snapshot saw the post-update world: estimates near 100+t
+        for record, time in zip(engine.result.updates, seen):
+            assert abs(record.estimate - (100.0 + time)) < 1.0

@@ -1,0 +1,95 @@
+"""Tests for the CLT estimation machinery (Eq. 5-6)."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.core.estimators import (
+    achieved_epsilon,
+    confidence_quantile,
+    required_sample_size,
+    sample_mean_and_variance,
+    variance_target,
+)
+from repro.errors import QueryError
+
+
+class TestQuantile:
+    def test_known_values(self):
+        assert confidence_quantile(0.95) == pytest.approx(1.959964, abs=1e-5)
+        assert confidence_quantile(0.99) == pytest.approx(2.575829, abs=1e-5)
+
+    def test_monotone(self):
+        assert confidence_quantile(0.99) > confidence_quantile(0.9)
+
+    def test_rejects_bounds(self):
+        with pytest.raises(QueryError):
+            confidence_quantile(0.0)
+        with pytest.raises(QueryError):
+            confidence_quantile(1.0)
+
+
+class TestRequiredSampleSize:
+    def test_eq6_value(self):
+        # n = (sigma * z / eps)^2 = (8 * 1.96 / 2)^2 ~= 61.5 -> 62
+        assert required_sample_size(8.0, 2.0, 0.95) == 62
+
+    def test_monotonicity(self):
+        base = required_sample_size(5.0, 1.0, 0.95)
+        assert required_sample_size(10.0, 1.0, 0.95) > base  # more spread
+        assert required_sample_size(5.0, 0.5, 0.95) > base  # tighter eps
+        assert required_sample_size(5.0, 1.0, 0.99) > base  # more confidence
+
+    def test_zero_sigma(self):
+        assert required_sample_size(0.0, 1.0, 0.95, minimum=3) == 3
+
+    def test_minimum_enforced(self):
+        assert required_sample_size(0.1, 100.0, 0.95, minimum=5) == 5
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(QueryError, match="exceeds"):
+            required_sample_size(1e6, 1e-6, 0.99, maximum=1000)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(QueryError):
+            required_sample_size(-1.0, 1.0, 0.95)
+        with pytest.raises(QueryError):
+            required_sample_size(1.0, 0.0, 0.95)
+
+    def test_consistency_with_clt(self):
+        """Empirical coverage at the computed n is ~the confidence level."""
+        rng = np.random.default_rng(0)
+        sigma, epsilon, confidence = 4.0, 1.0, 0.9
+        n = required_sample_size(sigma, epsilon, confidence)
+        hits = 0
+        trials = 2000
+        for _ in range(trials):
+            sample = rng.normal(0.0, sigma, n)
+            hits += abs(sample.mean()) <= epsilon
+        coverage = hits / trials
+        assert abs(coverage - confidence) < 0.04
+
+
+class TestVarianceTarget:
+    def test_inverse_of_epsilon(self):
+        target = variance_target(2.0, 0.95)
+        assert achieved_epsilon(target, 0.95) == pytest.approx(2.0)
+
+    def test_rejects_zero_epsilon(self):
+        with pytest.raises(QueryError):
+            variance_target(0.0, 0.95)
+
+
+class TestSampleMoments:
+    def test_population_style_variance(self):
+        mean, variance = sample_mean_and_variance(np.array([1.0, 3.0]))
+        assert mean == 2.0
+        assert variance == 1.0  # (1 + 1) / 2, the 1/n convention
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            sample_mean_and_variance(np.array([]))
+
+    def test_achieved_epsilon_negative_variance(self):
+        with pytest.raises(QueryError):
+            achieved_epsilon(-1.0, 0.95)

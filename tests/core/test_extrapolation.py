@@ -1,0 +1,132 @@
+"""Tests for Taylor-polynomial extrapolation (Section IV-A)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.extrapolation import (
+    TaylorExtrapolator,
+    lagrange_remainder_bound,
+)
+from repro.errors import QueryError
+
+
+def _history(function, n, start=0):
+    return [(start + t, function(start + t)) for t in range(n)]
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(QueryError):
+            TaylorExtrapolator(n_points=1)
+        with pytest.raises(QueryError):
+            TaylorExtrapolator(max_horizon=0)
+        with pytest.raises(QueryError):
+            TaylorExtrapolator(safety_factor=-1)
+        with pytest.raises(QueryError):
+            TaylorExtrapolator(n_points=3, remainder_window=3)
+
+    def test_required_history(self):
+        assert TaylorExtrapolator(n_points=3).required_history == 6
+        assert (
+            TaylorExtrapolator(n_points=3, remainder_window=4).required_history == 4
+        )
+
+
+class TestPrediction:
+    def test_linear_growth_exact(self):
+        """X = 2t: drift exceeds delta=5 after 3 steps (ceil(5/2))."""
+        extrapolator = TaylorExtrapolator(n_points=2, remainder_window=3)
+        history = _history(lambda t: 2.0 * t, 3)
+        result = extrapolator.predict_next_update(history, delta=5.0)
+        assert result.next_time == history[-1][0] + 3
+        assert not result.capped
+        assert result.remainder_rate == pytest.approx(0.0, abs=1e-9)
+
+    def test_constant_history_capped(self):
+        extrapolator = TaylorExtrapolator(n_points=3, max_horizon=10)
+        history = _history(lambda t: 42.0, 6)
+        result = extrapolator.predict_next_update(history, delta=1.0)
+        assert result.capped
+        assert result.next_time == history[-1][0] + 10
+
+    def test_quadratic_exact(self):
+        """X = t^2 with degree-2 fit: drift from t_u grows as offsets."""
+        extrapolator = TaylorExtrapolator(n_points=3, remainder_window=4)
+        history = _history(lambda t: float(t * t), 4)
+        t_u = history[-1][0]
+        result = extrapolator.predict_next_update(history, delta=20.0)
+        # drift = (t_u + k)^2 - t_u^2 = k^2 + 2*k*t_u = k^2 + 6k > 20 -> k=3
+        assert result.next_time == t_u + 3
+
+    def test_faster_change_means_earlier_update(self):
+        extrapolator = TaylorExtrapolator(n_points=2, remainder_window=3)
+        slow = extrapolator.predict_next_update(
+            _history(lambda t: 0.5 * t, 3), delta=5.0
+        )
+        fast = extrapolator.predict_next_update(
+            _history(lambda t: 5.0 * t, 3), delta=5.0
+        )
+        assert fast.next_time < slow.next_time
+
+    def test_remainder_makes_prediction_conservative(self):
+        """A noisy cubic term shortens the predicted interval."""
+        smooth = TaylorExtrapolator(n_points=2, remainder_window=3)
+        linear = _history(lambda t: 2.0 * t, 3)
+        wiggly = [(t, x + (3.0 if t % 2 else -3.0)) for t, x in linear]
+        prediction_linear = smooth.predict_next_update(linear, delta=10.0)
+        prediction_wiggly = smooth.predict_next_update(wiggly, delta=10.0)
+        assert prediction_wiggly.next_time <= prediction_linear.next_time
+
+    def test_safety_factor_more_conservative(self):
+        history = [(0, 0.0), (1, 1.9), (2, 4.1), (3, 6.0), (4, 8.1), (5, 9.9)]
+        plain = TaylorExtrapolator(n_points=3, safety_factor=1.0)
+        careful = TaylorExtrapolator(n_points=3, safety_factor=10.0)
+        assert (
+            careful.predict_next_update(history, 30.0).next_time
+            <= plain.predict_next_update(history, 30.0).next_time
+        )
+
+    def test_irregular_spacing_supported(self):
+        """Update times are not equally spaced (that is the whole point)."""
+        extrapolator = TaylorExtrapolator(n_points=2, remainder_window=3)
+        history = [(0, 0.0), (3, 6.0), (7, 14.0)]  # still X = 2t
+        result = extrapolator.predict_next_update(history, delta=5.0)
+        assert result.next_time == 10  # 7 + ceil(5/2)
+
+
+class TestValidation:
+    def test_insufficient_history(self):
+        extrapolator = TaylorExtrapolator(n_points=3)
+        with pytest.raises(QueryError, match="history points"):
+            extrapolator.predict_next_update([(0, 1.0)], delta=1.0)
+
+    def test_negative_delta(self):
+        extrapolator = TaylorExtrapolator(n_points=2, remainder_window=3)
+        with pytest.raises(QueryError):
+            extrapolator.predict_next_update(_history(float, 3), delta=-1.0)
+
+    def test_non_increasing_times(self):
+        extrapolator = TaylorExtrapolator(n_points=2, remainder_window=3)
+        with pytest.raises(QueryError):
+            extrapolator.predict_next_update(
+                [(0, 1.0), (0, 2.0), (1, 3.0)], delta=1.0
+            )
+
+
+class TestLagrangeBound:
+    def test_formula(self):
+        # M=6, degree=2, offset=2: 6 * 8 / 6 = 8
+        assert lagrange_remainder_bound(6.0, 2, 2.0) == pytest.approx(8.0)
+
+    def test_taylor_error_within_bound(self):
+        """sin truncated at degree 3 stays within the Lagrange bound."""
+        x = 0.8
+        taylor = x - x**3 / 6.0
+        bound = lagrange_remainder_bound(1.0, 3, x)  # |sin^{(4)}| <= 1
+        assert abs(math.sin(x) - taylor) <= bound
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(QueryError):
+            lagrange_remainder_bound(1.0, -1, 1.0)

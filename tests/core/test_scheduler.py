@@ -1,0 +1,62 @@
+"""Tests for the continual-querying schedulers."""
+
+import pytest
+
+from repro.core.scheduler import ContinuousScheduler, ExtrapolationScheduler
+from repro.errors import QueryError
+
+
+class TestContinuous:
+    def test_every_step(self):
+        scheduler = ContinuousScheduler()
+        assert scheduler.next_time([], now=5) == 6
+
+    def test_custom_period(self):
+        scheduler = ContinuousScheduler(period=4)
+        assert scheduler.next_time([], now=5) == 9
+
+    def test_rejects_zero_period(self):
+        with pytest.raises(QueryError):
+            ContinuousScheduler(period=0)
+
+
+class TestExtrapolation:
+    def test_bootstraps_continuously(self):
+        scheduler = ExtrapolationScheduler(delta=5.0, n_points=3)
+        history = [(0, 1.0), (1, 1.1)]
+        assert scheduler.next_time(history, now=1) == 2
+        assert scheduler.bootstrap_steps == 1
+        assert scheduler.predictions_made == 0
+
+    def test_predicts_after_bootstrap(self):
+        scheduler = ExtrapolationScheduler(delta=50.0, n_points=2)
+        # slow linear growth: big skips expected
+        history = [(t, 0.5 * t) for t in range(4)]
+        next_time = scheduler.next_time(history, now=3)
+        assert next_time > 4
+        assert scheduler.predictions_made == 1
+
+    def test_never_schedules_at_or_before_now(self):
+        scheduler = ExtrapolationScheduler(delta=0.001, n_points=2)
+        # rapidly changing: prediction would be immediate, clamp to now+1
+        history = [(t, 100.0 * t) for t in range(4)]
+        assert scheduler.next_time(history, now=3) == 4
+
+    def test_delta_zero_is_continuous(self):
+        scheduler = ExtrapolationScheduler(delta=0.0, n_points=2)
+        history = [(t, float(t)) for t in range(6)]
+        assert scheduler.next_time(history, now=5) == 6
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(QueryError):
+            ExtrapolationScheduler(delta=-1.0)
+
+    def test_rejects_zero_period(self):
+        with pytest.raises(QueryError):
+            ExtrapolationScheduler(delta=1.0, period=0)
+
+    def test_more_resolution_skips_more(self):
+        history = [(t, 1.0 * t) for t in range(6)]
+        fine = ExtrapolationScheduler(delta=2.0, n_points=2)
+        coarse = ExtrapolationScheduler(delta=20.0, n_points=2)
+        assert coarse.next_time(history, now=5) >= fine.next_time(history, now=5)

@@ -1,0 +1,91 @@
+"""Tests for shared workload machinery."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import distribute_units, lag1_correlation
+from repro.errors import SimulationError
+
+
+class TestDistributeUnits:
+    def test_every_node_covered_when_enough_units(self):
+        assignment = distribute_units(10, [0, 1, 2], np.random.default_rng(0))
+        assert set(assignment.values()) == {0, 1, 2}
+        assert len(assignment) == 10
+
+    def test_fewer_units_than_nodes(self):
+        assignment = distribute_units(2, [5, 6, 7], np.random.default_rng(0))
+        assert len(assignment) == 2
+        assert set(assignment.values()) <= {5, 6, 7}
+
+    def test_unit_ids_contiguous(self):
+        assignment = distribute_units(6, [0, 1], np.random.default_rng(0))
+        assert sorted(assignment) == list(range(6))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            distribute_units(0, [0], np.random.default_rng(0))
+        with pytest.raises(SimulationError):
+            distribute_units(3, [], np.random.default_rng(0))
+
+
+class TestLag1CorrelationMatched:
+    def test_matches_on_common_ids(self):
+        from repro.datasets.base import lag1_correlation_matched
+
+        previous = {1: 1.0, 2: 2.0, 3: 3.0, 99: 50.0}
+        current = {1: 2.0, 2: 4.0, 3: 6.0, 100: -50.0}  # 99 left, 100 joined
+        assert lag1_correlation_matched(previous, current) == pytest.approx(1.0)
+
+    def test_requires_survivors(self):
+        from repro.datasets.base import lag1_correlation_matched
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            lag1_correlation_matched({1: 1.0}, {2: 2.0})
+
+    def test_churn_does_not_depress_rho(self):
+        """The positional pairing artifact the matched version fixes."""
+        import dataclasses
+
+        from repro.datasets.base import lag1_correlation_matched
+        from repro.datasets.memory import MemoryConfig, MemoryDataset
+
+        config = dataclasses.replace(
+            MemoryConfig().scaled(0.3), leave_probability=0.02
+        )
+        instance = MemoryDataset(config, seed=3).build()
+        rhos = []
+        previous = None
+        for t in range(40):
+            instance.step(t)
+            current = instance.current_values_by_id()
+            if previous is not None:
+                rhos.append(lag1_correlation_matched(previous, current))
+            previous = current
+        assert np.mean(rhos) == pytest.approx(0.68, abs=0.08)
+
+
+class TestLag1Correlation:
+    def test_perfect_correlation(self):
+        previous = np.array([1.0, 2.0, 3.0, 4.0])
+        assert lag1_correlation(previous, previous * 2 + 1) == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        previous = np.array([1.0, 2.0, 3.0, 4.0])
+        assert lag1_correlation(previous, -previous) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        previous = rng.normal(0, 1, 5000)
+        current = rng.normal(0, 1, 5000)
+        assert abs(lag1_correlation(previous, current)) < 0.05
+
+    def test_constant_snapshot(self):
+        assert lag1_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            lag1_correlation(np.ones(3), np.ones(4))
+        with pytest.raises(SimulationError):
+            lag1_correlation(np.ones(1), np.ones(1))

@@ -1,0 +1,113 @@
+"""Tests for the synthetic TEMPERATURE workload."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import lag1_correlation
+from repro.datasets.temperature import (
+    TemperatureConfig,
+    TemperatureDataset,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    config = TemperatureConfig().scaled(0.05)
+    return TemperatureDataset(config, seed=0).build()
+
+
+class TestConfig:
+    def test_defaults_match_table2_counts(self):
+        config = TemperatureConfig()
+        assert config.n_nodes == 530
+        assert config.n_units == 8000
+        assert config.n_steps == 1080
+
+    def test_calibration_targets(self):
+        config = TemperatureConfig()
+        assert config.expected_sigma == pytest.approx(8.0, abs=0.1)
+        assert config.expected_rho == pytest.approx(0.89, abs=0.01)
+
+    def test_scaled(self):
+        scaled = TemperatureConfig().scaled(0.1)
+        assert scaled.n_nodes == 53
+        assert scaled.n_units == 800
+        assert scaled.expected_rho == TemperatureConfig().expected_rho
+
+    def test_scaled_validation(self):
+        with pytest.raises(SimulationError):
+            TemperatureConfig().scaled(0.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TemperatureConfig(n_nodes=10, n_units=5)
+        with pytest.raises(SimulationError):
+            TemperatureConfig(ar_coefficient=1.0)
+        with pytest.raises(SimulationError):
+            TemperatureConfig(shock_prob=0.0)
+
+
+class TestInstance:
+    def test_world_shape(self, small_instance):
+        config = small_instance.config
+        assert len(small_instance.graph) == config.n_nodes
+        assert small_instance.database.n_tuples == config.n_units
+        assert small_instance.graph.is_connected()
+
+    def test_no_empty_fragments(self, small_instance):
+        sizes = small_instance.database.content_sizes()
+        assert min(sizes.values()) >= 1
+
+    def test_deterministic_by_seed(self):
+        config = TemperatureConfig().scaled(0.03)
+        a = TemperatureDataset(config, seed=7).build()
+        b = TemperatureDataset(config, seed=7).build()
+        for t in range(5):
+            a.step(t)
+            b.step(t)
+        np.testing.assert_allclose(a.current_values(), b.current_values())
+
+    def test_steps_must_be_consecutive(self):
+        config = TemperatureConfig().scaled(0.03)
+        instance = TemperatureDataset(config, seed=0).build()
+        instance.step(0)
+        with pytest.raises(SimulationError):
+            instance.step(2)
+
+    def test_calibration_measured(self):
+        """Measured rho and sigma land near the Table II targets."""
+        config = TemperatureConfig().scaled(0.08)
+        instance = TemperatureDataset(config, seed=1).build()
+        rhos, sigmas = [], []
+        previous = None
+        for t in range(60):
+            instance.step(t)
+            current = instance.current_values()
+            sigmas.append(current.std())
+            if previous is not None:
+                rhos.append(lag1_correlation(previous, current))
+            previous = current
+        assert np.mean(rhos) == pytest.approx(0.89, abs=0.05)
+        assert np.mean(sigmas) == pytest.approx(8.0, abs=1.0)
+
+    def test_aggregate_tracks_signal(self):
+        """The oracle AVG stays near the shared smooth component."""
+        config = TemperatureConfig().scaled(0.08)
+        instance = TemperatureDataset(config, seed=2).build()
+        for t in range(20):
+            instance.step(t)
+            gap = abs(instance.true_average() - instance.expected_average(t))
+            # common jitter (sigma 2) + finite-sample mean of offsets
+            assert gap < 8.0
+
+    def test_updates_change_values(self, small_instance):
+        # module-scoped instance: continue stepping from wherever it is
+        next_step = small_instance._last_step + 1
+        if next_step == 0:  # time 0 is the initial state, not an update
+            small_instance.step(0)
+            next_step = 1
+        before = small_instance.current_values().copy()
+        small_instance.step(next_step)
+        after = small_instance.current_values()
+        assert not np.allclose(before, after)

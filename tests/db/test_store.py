@@ -1,0 +1,160 @@
+"""Tests for the per-node local store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.store import LocalStore
+from repro.errors import StoreError
+
+
+@pytest.fixture
+def store():
+    s = LocalStore(("a", "b"))
+    s.insert(1, {"a": 1.0, "b": 2.0})
+    s.insert(2, {"a": 3.0, "b": 4.0})
+    return s
+
+
+class TestSchema:
+    def test_empty_schema_rejected(self):
+        with pytest.raises(StoreError):
+            LocalStore(())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(StoreError):
+            LocalStore(("a", "a"))
+
+
+class TestOperations:
+    def test_insert_get(self, store):
+        assert store.get(1) == {"a": 1.0, "b": 2.0}
+        assert len(store) == 2
+        assert 1 in store
+
+    def test_get_returns_copy(self, store):
+        row = store.get(1)
+        row["a"] = 99.0
+        assert store.get(1)["a"] == 1.0
+
+    def test_insert_duplicate_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.insert(1, {"a": 0.0, "b": 0.0})
+
+    def test_insert_missing_attribute_rejected(self, store):
+        with pytest.raises(StoreError, match="missing"):
+            store.insert(3, {"a": 0.0})
+
+    def test_insert_unknown_attribute_rejected(self, store):
+        with pytest.raises(StoreError, match="unknown"):
+            store.insert(3, {"a": 0.0, "b": 0.0, "c": 0.0})
+
+    def test_partial_update(self, store):
+        store.update(1, {"b": 9.0})
+        assert store.get(1) == {"a": 1.0, "b": 9.0}
+
+    def test_update_unknown_tuple(self, store):
+        with pytest.raises(StoreError):
+            store.update(99, {"a": 0.0})
+
+    def test_update_unknown_attribute(self, store):
+        with pytest.raises(StoreError):
+            store.update(1, {"zzz": 0.0})
+
+    def test_delete(self, store):
+        store.delete(1)
+        assert 1 not in store
+        assert len(store) == 1
+        with pytest.raises(StoreError):
+            store.delete(1)
+
+    def test_delete_swap_pop_integrity(self):
+        s = LocalStore(("a",))
+        for i in range(5):
+            s.insert(i, {"a": float(i)})
+        s.delete(0)  # swaps last into position 0
+        s.delete(2)
+        assert sorted(s.tuple_ids()) == [1, 3, 4]
+        for tid in s.tuple_ids():
+            assert s.get(tid)["a"] == float(tid)
+
+    def test_iter_rows(self, store):
+        rows = dict(store.iter_rows())
+        assert set(rows) == {1, 2}
+
+
+class TestSamplingAndColumns:
+    def test_sample_from_empty_rejected(self):
+        with pytest.raises(StoreError):
+            LocalStore(("a",)).sample_uniform(np.random.default_rng(0))
+
+    def test_sample_uniformity(self):
+        s = LocalStore(("a",))
+        for i in range(4):
+            s.insert(i, {"a": 0.0})
+        rng = np.random.default_rng(0)
+        counts = np.zeros(4)
+        for _ in range(4000):
+            counts[s.sample_uniform(rng)] += 1
+        assert counts.min() > 800  # each ~1000 expected
+
+    def test_column(self, store):
+        np.testing.assert_allclose(sorted(store.column("a")), [1.0, 3.0])
+
+    def test_column_unknown(self, store):
+        with pytest.raises(StoreError):
+            store.column("nope")
+
+    def test_columns_parallel(self, store):
+        columns = store.columns()
+        assert set(columns) == {"a", "b"}
+        # same ordering across columns
+        index = list(columns["a"]).index(1.0)
+        assert columns["b"][index] == 2.0
+
+
+# ----------------------------------------------------------------------
+# property-based: the store behaves like a dict model under random ops
+# ----------------------------------------------------------------------
+
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "update", "delete"]),
+            st.integers(0, 9),
+            st.floats(-100, 100),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_property_store_matches_dict_model(operations):
+    store = LocalStore(("v",))
+    model: dict[int, float] = {}
+    for op, key, value in operations:
+        if op == "insert":
+            if key in model:
+                with pytest.raises(StoreError):
+                    store.insert(key, {"v": value})
+            else:
+                store.insert(key, {"v": value})
+                model[key] = value
+        elif op == "update":
+            if key in model:
+                store.update(key, {"v": value})
+                model[key] = value
+            else:
+                with pytest.raises(StoreError):
+                    store.update(key, {"v": value})
+        else:
+            if key in model:
+                store.delete(key)
+                del model[key]
+            else:
+                with pytest.raises(StoreError):
+                    store.delete(key)
+    assert len(store) == len(model)
+    assert sorted(store.tuple_ids()) == sorted(model)
+    for key, value in model.items():
+        assert store.get(key)["v"] == pytest.approx(value)

@@ -1,0 +1,42 @@
+"""Tests for sampling robustness under churn."""
+
+import pytest
+
+from repro.experiments import churn_robustness
+
+
+@pytest.fixture(scope="module")
+def result():
+    return churn_robustness.run(
+        n_nodes=60,
+        occasions=4,
+        samples_per_occasion=1500,
+        leave_probabilities=(0.0, 0.08),
+        seed=0,
+    )
+
+
+class TestDistributionalRobustness:
+    def test_tv_stays_at_noise_floor(self, result):
+        """Churn must not bias the sampled distribution."""
+        static_tv = result.rows[0].mean_tv
+        churny_tv = result.rows[-1].mean_tv
+        # the churny TV stays within ~2x of the static finite-sample floor
+        assert churny_tv < 2.0 * static_tv + 0.02
+
+    def test_pool_survival_degrades_with_churn(self, result):
+        assert result.rows[-1].pool_survival < result.rows[0].pool_survival
+        assert result.rows[-1].pool_survival > 0.5  # pruning, not collapse
+
+
+class TestRepeatedSamplingRobustness:
+    def test_still_retains_under_churn(self, result):
+        assert result.rows[-1].retained_fraction > 0.1
+
+    def test_error_stays_bounded(self, result):
+        for row in result.rows:
+            assert row.mean_error < 1.0  # epsilon was 0.5; 2x slack
+
+
+def test_table_renders(result):
+    assert "churn" in result.to_table()

@@ -1,0 +1,195 @@
+"""Shape tests for the per-figure experiment runners.
+
+Each paper artifact has a qualitative *shape* that must reproduce at any
+scale (Section VI / DESIGN.md): these tests run the experiments at tiny
+scale and assert those shapes, not absolute numbers.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations, fig4a, fig4b, fig5a, fig5b, mixing, table1, table2
+
+TINY = 0.05
+
+
+@pytest.fixture(scope="module")
+def fig4a_result():
+    return fig4a.run(scale=TINY, ratios=(0.1, 1.0, 2.0), pred_ks=(2, 3))
+
+
+@pytest.fixture(scope="module")
+def fig4b_result():
+    return fig4b.run(scale=TINY, epsilon_ratios=(0.15, 0.3))
+
+
+@pytest.fixture(scope="module")
+def fig5a_result():
+    return fig5a.run(scale=TINY)
+
+
+@pytest.fixture(scope="module")
+def fig5b_result():
+    # the push-vs-sample crossover sits near scale ~0.15 (DESIGN.md E4);
+    # run above it so the paper's full ordering is expressed
+    return fig5b.run(scale=0.25)
+
+
+class TestFig4a:
+    def test_pred_never_exceeds_all(self, fig4a_result):
+        for algorithm in fig4a_result.algorithms[1:]:
+            for index in range(len(fig4a_result.ratios)):
+                assert (
+                    fig4a_result.snapshot_queries[algorithm][index]
+                    <= fig4a_result.snapshot_queries["ALL"][index]
+                )
+
+    def test_all_runs_every_step(self, fig4a_result):
+        assert all(
+            count == fig4a_result.total_steps
+            for count in fig4a_result.snapshot_queries["ALL"]
+        )
+
+    def test_large_delta_reduces_queries(self, fig4a_result):
+        """Paper: big reductions once delta/sigma ~ 1."""
+        last = len(fig4a_result.ratios) - 1
+        for algorithm in fig4a_result.algorithms[1:]:
+            assert fig4a_result.reduction_vs_all(algorithm, last) > 0.5
+
+    def test_small_delta_close_to_all(self, fig4a_result):
+        """Paper: little to skip when delta is below the jitter scale."""
+        for algorithm in fig4a_result.algorithms[1:]:
+            assert fig4a_result.reduction_vs_all(algorithm, 0) < 0.7
+
+    def test_table_renders(self, fig4a_result):
+        assert "delta/sigma" in fig4a_result.to_table()
+
+
+class TestFig4b:
+    def test_rpt_at_most_indep(self, fig4b_result):
+        for indep, rpt in zip(
+            fig4b_result.samples_indep, fig4b_result.samples_rpt
+        ):
+            assert rpt <= indep * 1.05  # tiny slack for top-up noise
+
+    def test_samples_fall_with_epsilon(self, fig4b_result):
+        assert fig4b_result.samples_indep[0] > fig4b_result.samples_indep[-1]
+
+    def test_improvement_factor_positive(self, fig4b_result):
+        assert fig4b_result.improvement_factor >= 1.0
+
+    def test_fresh_below_total(self, fig4b_result):
+        for fresh, total in zip(fig4b_result.fresh_rpt, fig4b_result.samples_rpt):
+            assert fresh <= total
+
+
+class TestFig5a:
+    def test_digest_is_cheapest(self, fig5a_result):
+        digest = fig5a_result.totals["PRED3+RPT"]
+        for name, total in fig5a_result.totals.items():
+            if name != "PRED3+RPT":
+                assert digest <= total
+
+    def test_naive_is_most_expensive(self, fig5a_result):
+        naive = fig5a_result.totals["ALL+INDEP"]
+        for total in fig5a_result.totals.values():
+            assert total <= naive
+
+    def test_digest_vs_naive_substantial(self, fig5a_result):
+        """Paper: up to 3.2x on TEMPERATURE; require at least 2x here."""
+        assert fig5a_result.digest_vs_naive > 2.0
+
+    def test_rpt_improvement_factor(self, fig5a_result):
+        assert fig5a_result.rpt_improvement > 1.0
+
+
+class TestFig5b:
+    def test_paper_ordering(self, fig5b_result):
+        messages = fig5b_result.messages
+        assert messages["Digest(PRED3+RPT)"] < messages["ALL+INDEP"]
+        assert messages["ALL+INDEP"] < messages["ALL+FILTER"]
+        assert messages["ALL+FILTER"] < messages["ALL+ALL"]
+
+    def test_digest_margin_large(self, fig5b_result):
+        """Paper: >=1 order of magnitude over FILTER at full scale; the gap
+        shrinks with scale, so require a 3x margin at this tiny scale."""
+        assert fig5b_result.ratio("ALL+FILTER") > 3.0
+
+    def test_table_renders(self, fig5b_result):
+        assert "total messages" in fig5b_result.to_table()
+
+
+class TestTable1:
+    def test_closed_forms_verified(self):
+        result = table1.simulate(rho=0.85, n=80, trials=1500, seed=1)
+        for name, empirical in result.empirical.items():
+            theory = result.theoretical[name]
+            assert empirical == pytest.approx(theory, rel=0.25), name
+
+    def test_combined_beats_both_parts(self):
+        result = table1.simulate(rho=0.85, n=80, trials=1500, seed=1)
+        combined = result.empirical["combined"]
+        assert combined < result.empirical["fresh (regular)"]
+        assert combined < result.empirical["retained (regression)"]
+
+
+class TestTable2:
+    @pytest.mark.parametrize("dataset", ["temperature", "memory"])
+    def test_calibration(self, dataset):
+        result = table2.run(dataset=dataset, scale=0.1, seed=0, measure_steps=40)
+        assert result.measured_rho == pytest.approx(result.paper_rho, abs=0.08)
+        assert result.measured_sigma == pytest.approx(
+            result.paper_sigma, rel=0.15
+        )
+
+    def test_full_scale_counts_match(self):
+        # counts are by construction; verify via the config, not a build
+        from repro.datasets.temperature import TemperatureConfig
+
+        config = TemperatureConfig()
+        paper = table2.PAPER_ROWS["temperature"]
+        assert config.n_nodes == paper["nodes"]
+        assert config.n_units == paper["units"]
+        assert config.n_units * config.n_steps == paper["tuples"]
+
+
+class TestMixing:
+    def test_power_law_poly_log(self):
+        """Theorem 4 shape: tau / log^4 N stays bounded on power-law graphs."""
+        rows = [
+            mixing.measure("power_law", size, n_samples=20, seed=0)
+            for size in (128, 512)
+        ]
+        ratios = [row.log4_ratio for row in rows]
+        assert ratios[1] < 4 * ratios[0]
+
+    def test_bound_dominates_empirical(self):
+        row = mixing.measure("power_law", 128, n_samples=10, seed=0)
+        assert row.empirical_mix <= row.theorem3_bound
+
+    def test_messages_per_sample_reasonable(self):
+        row = mixing.measure("power_law", 256, n_samples=50, seed=0)
+        assert 5 <= row.messages_per_sample <= 500
+
+
+class TestAblations:
+    def test_laziness_required_on_bipartite(self):
+        result = ablations.laziness_ablation(n_nodes=32, steps=2000)
+        assert result.tv_lazy < 0.01
+        assert result.tv_nonlazy > 0.4  # oscillates forever
+
+    def test_continued_walks_cheaper(self):
+        result = ablations.continued_walk_ablation(n_nodes=150, n_samples=25)
+        assert result.msgs_continued < result.msgs_fresh
+
+    def test_cluster_sampling_worse(self):
+        result = ablations.cluster_sampling_ablation(trials=30)
+        assert result.rmse_cluster > 1.5 * result.rmse_two_stage
+
+    def test_replacement_policy(self):
+        result = ablations.replacement_policy_ablation(rho=0.9, n=100)
+        assert result.variance_all_replace == pytest.approx(0.01)
+        assert result.variance_all_retain == pytest.approx(0.01)
+        assert result.variance_optimal < 0.01

@@ -1,0 +1,33 @@
+"""Tests for the guarantee-validation experiments."""
+
+import pytest
+
+from repro.experiments import guarantees
+
+
+@pytest.fixture(scope="module")
+def coverage_result():
+    return guarantees.coverage(
+        scale=0.05, trials=3, steps_per_trial=15, seed=0
+    )
+
+
+class TestCoverage:
+    def test_coverage_near_confidence(self, coverage_result):
+        """Empirical (epsilon, p) coverage within sampling slack of p."""
+        assert coverage_result.snapshots >= 30
+        assert coverage_result.coverage >= coverage_result.confidence - 0.15
+
+    def test_table_renders(self, coverage_result):
+        assert "empirical coverage" in coverage_result.to_table()
+
+
+class TestResolution:
+    def test_violation_rate_small(self):
+        result = guarantees.resolution(scale=0.05, seed=0, n_steps=40)
+        assert result.skipped_steps > 0  # PRED actually skipped something
+        assert result.violation_rate <= 0.25
+
+    def test_table_renders(self):
+        result = guarantees.resolution(scale=0.05, seed=0, n_steps=25)
+        assert "violation rate" in result.to_table()

@@ -1,0 +1,79 @@
+"""Tests for the experiment ``main()`` entry points (chart integration).
+
+The heavy computation is monkeypatched with canned results so these only
+exercise the reporting paths: tables render, ASCII charts attach, and
+derived statistics print without error.
+"""
+
+import pytest
+
+from repro.experiments import fig4a, fig4b, fig5a, fig5b
+
+
+def test_fig4a_main_prints_chart(monkeypatch, capsys):
+    canned = fig4a.Fig4aResult(
+        dataset="temperature",
+        sigma=8.0,
+        ratios=[0.1, 1.0],
+        algorithms=["ALL", "PRED2"],
+        snapshot_queries={"ALL": [50, 50], "PRED2": [40, 10]},
+        total_steps=50,
+    )
+    monkeypatch.setattr(fig4a, "run", lambda **kwargs: canned)
+    fig4a.main()
+    out = capsys.readouterr().out
+    assert "Figure 4-a" in out
+    assert "delta/sigma" in out
+    assert "o = ALL" in out  # the chart legend
+    assert "reduction vs ALL" in out
+
+
+def test_fig4b_main_prints_charts(monkeypatch, capsys):
+    canned = fig4b.Fig4bResult(
+        dataset="temperature",
+        sigma=8.0,
+        epsilon_ratios=[0.1, 0.3],
+        samples_indep=[400.0, 45.0],
+        samples_rpt=[250.0, 34.0],
+        fresh_rpt=[130.0, 20.0],
+    )
+    monkeypatch.setattr(fig4b, "run", lambda **kwargs: canned)
+    fig4b.main()
+    out = capsys.readouterr().out
+    assert out.count("samples/query vs epsilon") == 2  # both datasets
+    assert "improvement factor" in out
+
+
+def test_fig5a_main(monkeypatch, capsys):
+    canned = fig5a.Fig5aResult(
+        dataset="temperature",
+        sigma=8.0,
+        totals={name: 100 for name, _, _ in fig5a.COMBINATIONS},
+        fresh={name: 50 for name, _, _ in fig5a.COMBINATIONS},
+        queries={name: 10 for name, _, _ in fig5a.COMBINATIONS},
+    )
+    monkeypatch.setattr(fig5a, "run", lambda **kwargs: canned)
+    fig5a.main()
+    out = capsys.readouterr().out
+    assert "total samples per combination" in out
+    assert "Digest vs naive" in out
+
+
+def test_fig5b_main_prints_log_bars(monkeypatch, capsys):
+    canned = fig5b.Fig5bResult(
+        dataset="temperature",
+        sigma=8.0,
+        messages={
+            "ALL+ALL": 1_000_000,
+            "ALL+FILTER": 100_000,
+            "ALL+INDEP": 50_000,
+            "Digest(PRED3+RPT)": 1_000,
+        },
+        samples={name: 0 for name in fig5b.SYSTEMS},
+    )
+    monkeypatch.setattr(fig5b, "run", lambda **kwargs: canned)
+    fig5b.main()
+    out = capsys.readouterr().out
+    assert "total communication cost" in out
+    assert "log scale" in out
+    assert "#" in out  # bars rendered

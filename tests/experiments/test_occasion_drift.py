@@ -1,0 +1,54 @@
+"""Tests for the sampling-time-scale robustness experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import occasion_drift
+
+
+class TestDetrendedEstimate:
+    def test_exact_on_linear_data(self):
+        times = np.array([0.0, 1.0, 2.0, 3.0])
+        values = 5.0 + 2.0 * times
+        assert occasion_drift.detrended_estimate(
+            times, values, at=3.0
+        ) == pytest.approx(11.0)
+
+    def test_extrapolates_to_target(self):
+        times = np.array([0.0, 1.0])
+        values = np.array([0.0, 1.0])
+        assert occasion_drift.detrended_estimate(
+            times, values, at=4.0
+        ) == pytest.approx(4.0)
+
+    def test_degenerate_window_falls_back_to_mean(self):
+        times = np.zeros(5)
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert occasion_drift.detrended_estimate(
+            times, values, at=10.0
+        ) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            occasion_drift.detrended_estimate(np.array([]), np.array([]), 0.0)
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return occasion_drift.run(
+            windows=(1, 8, 16), occasions=8, n_nodes=80, seed=0
+        )
+
+    def test_truth_drift_scales_with_window(self, result):
+        assert result.rows[-1].truth_drift > 4 * result.rows[0].truth_drift
+
+    def test_naive_error_grows(self, result):
+        assert result.rows[-1].naive_mae > 2 * result.rows[0].naive_mae
+
+    def test_detrending_suppresses_growth(self, result):
+        last = result.rows[-1]
+        assert last.detrended_mae < 0.5 * last.naive_mae
+
+    def test_table_renders(self, result):
+        assert "occasion length" in result.to_table()

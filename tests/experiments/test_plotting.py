@@ -1,0 +1,57 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_bars, ascii_chart
+
+
+class TestChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            {"ALL": ([0, 1, 2], [10, 10, 10]), "PRED": ([0, 1, 2], [10, 5, 2])},
+            title="Figure 4-a",
+        )
+        assert "Figure 4-a" in chart
+        assert "o = ALL" in chart and "x = PRED" in chart
+        assert "+" + "-" * 60 in chart
+
+    def test_markers_positioned(self):
+        chart = ascii_chart({"s": ([0.0, 1.0], [0.0, 1.0])}, width=10, height=4)
+        rows = [line for line in chart.splitlines() if line.startswith("|")]
+        assert rows[0].rstrip().endswith("o")  # max lands top-right
+        assert rows[-1][1] == "o"  # min lands bottom-left
+
+    def test_constant_series_handled(self):
+        chart = ascii_chart({"flat": ([0, 1], [5.0, 5.0])})
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": ([], [])})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": ([0], [0])}, width=5)
+
+
+class TestBars:
+    def test_linear(self):
+        bars = ascii_bars({"a": 10.0, "b": 5.0}, width=20, title="T")
+        lines = bars.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_log_scale_compresses(self):
+        linear = ascii_bars({"big": 1000.0, "small": 1.0}, width=40)
+        logarithmic = ascii_bars({"big": 1000.0, "small": 1.0}, width=40, log=True)
+        small_linear = [l for l in linear.splitlines() if "small" in l][0]
+        small_log = [l for l in logarithmic.splitlines() if "small" in l][0]
+        assert small_log.count("#") >= small_linear.count("#")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+        with pytest.raises(ValueError):
+            ascii_bars({"a": -1.0})
+        with pytest.raises(ValueError):
+            ascii_bars({"a": 0.0}, log=True)

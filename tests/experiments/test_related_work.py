@@ -1,0 +1,52 @@
+"""Tests for the related-work comparison experiments (Section VII claims)."""
+
+import pytest
+
+from repro.experiments import related_work
+
+
+class TestGossipCrossover:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return related_work.gossip_crossover(scale=0.15, seed=0)
+
+    def test_gossip_cost_independent_of_queriers(self, result):
+        assert len(set(result.gossip_totals)) == 1
+
+    def test_digest_cost_linear_in_queriers(self, result):
+        per = result.digest_messages_per_querier
+        for k, total in zip(result.querier_counts, result.digest_totals):
+            assert total == pytest.approx(per * k)
+
+    def test_crossover_exists(self, result):
+        """Digest wins at K=1; gossip wins for enough queriers (the
+        paper's claim that gossip is only justified when everyone asks)."""
+        assert result.digest_messages_per_querier < result.gossip_messages_per_snapshot
+        assert result.crossover > 1.0
+
+    def test_table_renders(self, result):
+        assert "crossover" in result.to_table()
+
+
+class TestTagChurn:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return related_work.tag_vs_churn(
+            scale=0.12, seed=0, leave_probabilities=(0.0, 0.04), n_steps=30
+        )
+
+    def test_exact_without_churn(self, result):
+        assert result.rows[0].tree_mae < 1e-9
+        assert result.rows[0].mean_lost_fraction == 0.0
+
+    def test_error_grows_with_churn(self, result):
+        assert result.rows[1].tree_mae > result.rows[0].tree_mae
+        assert result.rows[1].mean_lost_fraction > 0.1
+
+    def test_digest_unaffected_by_churn(self, result):
+        """Digest's error stays within ~epsilon at every churn level."""
+        for row in result.rows:
+            assert row.digest_mae <= 2 * result.epsilon
+
+    def test_table_renders(self, result):
+        assert "TAG" in result.to_table()

@@ -1,0 +1,32 @@
+"""Tests for table rendering."""
+
+from repro.experiments.report import format_table, format_value
+
+
+def test_format_value():
+    assert format_value(3) == "3"
+    assert format_value(True) == "True"
+    assert format_value(3.14159) == "3.142"
+    assert format_value(1.23e9) == "1.230e+09"
+    assert format_value(1e-5) == "1.000e-05"
+    assert format_value(0.0) == "0.000"
+    assert format_value("x") == "x"
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["name", "count"],
+        [["a", 1], ["bbbb", 22]],
+        title="Demo",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "Demo"
+    assert "name" in lines[1] and "count" in lines[1]
+    assert set(lines[2]) == {"-"}
+    # all rows same width
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_format_table_no_title():
+    table = format_table(["h"], [[1]])
+    assert table.splitlines()[0].startswith("h")

@@ -1,0 +1,119 @@
+"""Tests for the churn process."""
+
+import numpy as np
+import pytest
+
+from repro.network.churn import ChurnConfig, ChurnProcess
+from repro.network.graph import OverlayGraph
+from repro.network.topology import mesh_topology
+
+
+def _graph(n=25):
+    return OverlayGraph(mesh_topology(n), n_nodes=n)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(leave_probability=1.5)
+
+    def test_rejects_negative_join_rate(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(join_rate=-1)
+
+    def test_rejects_zero_links(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(n_links=0)
+
+    def test_rejects_zero_min_nodes(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(min_nodes=0)
+
+
+class TestDynamics:
+    def test_no_churn_is_noop(self):
+        graph = _graph()
+        process = ChurnProcess(graph, ChurnConfig(), np.random.default_rng(0))
+        event = process.step()
+        assert event.is_empty
+        assert len(graph) == 25
+
+    def test_leaves_happen(self):
+        graph = _graph()
+        process = ChurnProcess(
+            graph,
+            ChurnConfig(leave_probability=0.5),
+            np.random.default_rng(0),
+        )
+        event = process.step()
+        assert len(event.left) > 0
+        assert all(node not in graph for node in event.left)
+
+    def test_joins_happen(self):
+        graph = _graph()
+        process = ChurnProcess(
+            graph, ChurnConfig(join_rate=5.0), np.random.default_rng(0)
+        )
+        joined = []
+        for _ in range(5):
+            joined.extend(process.step().joined)
+        assert joined
+        assert all(node in graph for node in joined)
+
+    def test_protected_nodes_never_leave(self):
+        graph = _graph()
+        process = ChurnProcess(
+            graph,
+            ChurnConfig(leave_probability=1.0, min_nodes=1),
+            np.random.default_rng(0),
+            protected={0},
+        )
+        for _ in range(3):
+            process.step()
+        assert 0 in graph
+
+    def test_protect_after_construction(self):
+        graph = _graph()
+        process = ChurnProcess(
+            graph,
+            ChurnConfig(leave_probability=1.0, min_nodes=1),
+            np.random.default_rng(0),
+        )
+        process.protect(7)
+        process.step()
+        assert 7 in graph
+        assert 7 in process.protected
+
+    def test_min_nodes_floor(self):
+        graph = _graph(10)
+        process = ChurnProcess(
+            graph,
+            ChurnConfig(leave_probability=1.0, min_nodes=5),
+            np.random.default_rng(0),
+        )
+        for _ in range(5):
+            process.step()
+        assert len(graph) >= 5
+
+    def test_rewire_keeps_connectivity(self):
+        graph = _graph(36)
+        process = ChurnProcess(
+            graph,
+            ChurnConfig(leave_probability=0.1, join_rate=3.0, rewire=True),
+            np.random.default_rng(1),
+        )
+        for _ in range(10):
+            process.step()
+        assert graph.is_connected()
+
+    def test_stable_size_when_balanced(self):
+        """join_rate = p * n keeps the population roughly stationary."""
+        graph = _graph(100)
+        process = ChurnProcess(
+            graph,
+            ChurnConfig(leave_probability=0.05, join_rate=5.0),
+            np.random.default_rng(2),
+        )
+        for _ in range(50):
+            process.step()
+        assert 60 <= len(graph) <= 160

@@ -1,0 +1,149 @@
+"""Tests for the mutable overlay graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.graph import OverlayGraph
+from repro.network.topology import mesh_topology, ring_topology
+
+
+@pytest.fixture
+def triangle():
+    return OverlayGraph([(0, 1), (1, 2), (0, 2)])
+
+
+class TestStructure:
+    def test_basic_counts(self, triangle):
+        assert len(triangle) == 3
+        assert triangle.n_edges() == 3
+        assert triangle.degree(0) == 2
+
+    def test_contains(self, triangle):
+        assert 0 in triangle
+        assert 99 not in triangle
+
+    def test_isolated_nodes_via_n_nodes(self):
+        graph = OverlayGraph([(0, 1)], n_nodes=4)
+        assert len(graph) == 4
+        assert graph.degree(3) == 0
+        assert not graph.is_connected()
+
+    def test_edges_sorted_pairs(self, triangle):
+        assert triangle.edges() == [(0, 1), (0, 2), (1, 2)]
+
+    def test_neighbors_deterministic(self):
+        graph = OverlayGraph([(0, 1), (0, 2), (0, 3)])
+        assert graph.neighbors(0) == [1, 2, 3]
+
+
+class TestMutation:
+    def test_add_edge_idempotent(self, triangle):
+        version = triangle.version
+        triangle.add_edge(0, 1)
+        assert triangle.n_edges() == 3
+        assert triangle.version == version  # no-op does not bump
+
+    def test_self_loop_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_edge(1, 1)
+
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(0, 1)
+        assert not triangle.has_edge(0, 1)
+        assert not triangle.has_edge(1, 0)
+        with pytest.raises(TopologyError):
+            triangle.remove_edge(0, 1)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(TopologyError):
+            OverlayGraph([(-1, 0)])
+
+    def test_join_assigns_fresh_id(self, triangle):
+        node = triangle.join(attach_to=[0, 1])
+        assert node == 3
+        assert triangle.has_edge(3, 0)
+        assert triangle.has_edge(3, 1)
+
+    def test_join_random_attachment(self, triangle):
+        node = triangle.join(n_links=2, rng=np.random.default_rng(0))
+        assert triangle.degree(node) == 2
+
+    def test_ids_never_reused(self, triangle):
+        node = triangle.join(attach_to=[0])
+        triangle.leave(node)
+        assert triangle.join(attach_to=[0]) == node + 1
+
+    def test_leave_rewires_ring(self):
+        """Removing a ring node must keep the graph connected via rewiring."""
+        graph = OverlayGraph(ring_topology(8), n_nodes=8)
+        graph.leave(3, rewire=True)
+        assert graph.is_connected()
+        assert 3 not in graph
+
+    def test_leave_without_rewire_can_disconnect(self):
+        graph = OverlayGraph([(0, 1), (1, 2)], n_nodes=3)
+        graph.leave(1, rewire=False)
+        assert not graph.is_connected()
+
+    def test_leave_unknown_raises(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.leave(42)
+
+    def test_version_bumps_on_change(self, triangle):
+        before = triangle.version
+        triangle.join(attach_to=[0])
+        assert triangle.version > before
+
+
+class TestAnalysis:
+    def test_hop_distances(self):
+        graph = OverlayGraph([(0, 1), (1, 2), (2, 3)])
+        distances = graph.hop_distances(0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_hop_distance_cache_invalidation(self):
+        graph = OverlayGraph([(0, 1), (1, 2), (2, 3)])
+        assert graph.hop_distances(0)[3] == 3
+        graph.add_edge(0, 3)
+        assert graph.hop_distances(0)[3] == 1
+
+    def test_hop_distances_unknown_source(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.hop_distances(99)
+
+    def test_is_connected_mesh(self):
+        graph = OverlayGraph(mesh_topology(30), n_nodes=30)
+        assert graph.is_connected()
+
+    def test_empty_graph_connected(self):
+        assert OverlayGraph([]).is_connected()
+
+    def test_csr_roundtrip(self):
+        graph = OverlayGraph([(0, 2), (2, 5), (0, 5)], n_nodes=6)
+        node_ids, offsets, targets = graph.csr()
+        assert node_ids.tolist() == [0, 1, 2, 3, 4, 5]
+        rebuilt = set()
+        for row in range(len(node_ids)):
+            for position in range(offsets[row], offsets[row + 1]):
+                neighbor = node_ids[targets[position]]
+                rebuilt.add((min(node_ids[row], neighbor), max(node_ids[row], neighbor)))
+        assert rebuilt == {(0, 2), (2, 5), (0, 5)}
+
+    def test_csr_after_leave_has_compact_indices(self):
+        graph = OverlayGraph(ring_topology(6), n_nodes=6)
+        graph.leave(2)
+        node_ids, offsets, targets = graph.csr()
+        assert 2 not in node_ids.tolist()
+        assert targets.max() < len(node_ids)
+
+    def test_copy_independent(self, triangle):
+        clone = triangle.copy()
+        clone.join(attach_to=[0])
+        assert len(clone) == 4
+        assert len(triangle) == 3
+
+    def test_copy_preserves_structure(self, triangle):
+        clone = triangle.copy()
+        assert clone.edges() == triangle.edges()
+        assert clone.nodes() == triangle.nodes()

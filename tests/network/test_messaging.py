@@ -1,0 +1,55 @@
+"""Tests for message accounting."""
+
+import pytest
+
+from repro.network.messaging import MessageLedger
+
+
+def test_total_sums_categories():
+    ledger = MessageLedger()
+    ledger.record_walk_steps(10)
+    ledger.record_sample_return(3)
+    ledger.record_push(7)
+    ledger.record_control(2, label="filter_growth")
+    assert ledger.total == 22
+
+
+def test_breakdown_includes_labels():
+    ledger = MessageLedger()
+    ledger.record_control(4, label="x")
+    ledger.record_control(1, label="x")
+    breakdown = ledger.breakdown()
+    assert breakdown["control"] == 5
+    assert breakdown["control:x"] == 5
+
+
+def test_merge():
+    a = MessageLedger()
+    b = MessageLedger()
+    a.record_walk_steps(5)
+    b.record_walk_steps(3)
+    b.record_push(2)
+    b.record_control(1, label="y")
+    a.merge(b)
+    assert a.walk_steps == 8
+    assert a.pushes == 2
+    assert a.breakdown()["control:y"] == 1
+
+
+def test_reset():
+    ledger = MessageLedger()
+    ledger.record_push(9)
+    ledger.record_control(1, label="z")
+    ledger.reset()
+    assert ledger.total == 0
+    assert ledger.breakdown()["control"] == 0
+
+
+@pytest.mark.parametrize(
+    "method",
+    ["record_walk_steps", "record_sample_return", "record_push"],
+)
+def test_negative_counts_rejected(method):
+    ledger = MessageLedger()
+    with pytest.raises(ValueError):
+        getattr(ledger, method)(-1)

@@ -1,0 +1,141 @@
+"""Tests for overlay topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.graph import OverlayGraph
+from repro.network.topology import (
+    augmented_mesh_topology,
+    degree_sequence,
+    line_topology,
+    mesh_topology,
+    power_law_topology,
+    random_regular_topology,
+    random_topology,
+    ring_topology,
+    small_world_topology,
+)
+
+
+def _is_connected(edges, n):
+    return OverlayGraph(edges, n_nodes=n).is_connected()
+
+
+class TestMesh:
+    def test_connected(self):
+        assert _is_connected(mesh_topology(30), 30)
+
+    def test_perfect_square(self):
+        edges = mesh_topology(16)
+        degrees = degree_sequence(edges, 16)
+        # 4x4 grid: corners have degree 2, edges 3, interior 4
+        assert sorted(degrees)[:4] == [2, 2, 2, 2]
+        assert max(degrees) == 4
+
+    def test_non_square_count(self):
+        edges = mesh_topology(7)
+        nodes = {u for e in edges for u in e}
+        assert nodes == set(range(7))
+
+    def test_single_node(self):
+        assert mesh_topology(1) == []
+
+    def test_rejects_zero(self):
+        with pytest.raises(TopologyError):
+            mesh_topology(0)
+
+
+class TestAugmentedMesh:
+    def test_superset_of_mesh(self):
+        base = set(mesh_topology(36))
+        augmented = set(augmented_mesh_topology(36, 0.3, rng=0))
+        assert base <= augmented
+        assert len(augmented) > len(base)
+
+    def test_zero_fraction_is_plain_mesh(self):
+        assert augmented_mesh_topology(25, 0.0, rng=0) == mesh_topology(25)
+
+    def test_improves_mixing(self):
+        """The long links must materially widen the eigengap."""
+        from repro.sampling.metropolis import metropolis_matrix
+        from repro.sampling.mixing import eigengap
+        from repro.sampling.weights import uniform_weights
+
+        plain = OverlayGraph(mesh_topology(100), n_nodes=100)
+        augmented = OverlayGraph(
+            augmented_mesh_topology(100, 0.3, rng=1), n_nodes=100
+        )
+        weight = uniform_weights()
+        gap_plain = eigengap(metropolis_matrix(plain, weight)[1])
+        gap_augmented = eigengap(metropolis_matrix(augmented, weight)[1])
+        assert gap_augmented > 2 * gap_plain
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(TopologyError):
+            augmented_mesh_topology(25, -0.1)
+
+
+class TestPowerLaw:
+    def test_connected(self):
+        assert _is_connected(power_law_topology(100, rng=0), 100)
+
+    def test_heavy_tail(self):
+        edges = power_law_topology(500, alpha=2.2, rng=0)
+        degrees = degree_sequence(edges, 500)
+        # a power-law graph has hubs well above the median degree
+        assert max(degrees) >= 3 * np.median(degrees)
+
+    def test_min_degree_respected_roughly(self):
+        edges = power_law_topology(200, min_degree=2, rng=0)
+        degrees = degree_sequence(edges, 200)
+        assert degrees.min() >= 1  # dedup of the configuration model may drop one
+
+    def test_deterministic_with_seed(self):
+        assert power_law_topology(50, rng=7) == power_law_topology(50, rng=7)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(TopologyError):
+            power_law_topology(50, alpha=0.5)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(TopologyError):
+            power_law_topology(2)
+
+
+class TestOthers:
+    def test_random_connected(self):
+        assert _is_connected(random_topology(80, rng=0), 80)
+
+    def test_small_world_connected(self):
+        assert _is_connected(small_world_topology(60, rng=0), 60)
+
+    def test_small_world_rejects_small_n(self):
+        with pytest.raises(TopologyError):
+            small_world_topology(4, k=4)
+
+    def test_random_regular(self):
+        edges = random_regular_topology(20, degree=4, rng=0)
+        degrees = degree_sequence(edges, 20)
+        assert set(degrees) == {4}
+
+    def test_random_regular_parity(self):
+        with pytest.raises(TopologyError):
+            random_regular_topology(5, degree=3)  # odd n * odd degree
+
+    def test_ring(self):
+        edges = ring_topology(10)
+        assert len(edges) == 10
+        assert set(degree_sequence(edges, 10)) == {2}
+
+    def test_line(self):
+        edges = line_topology(5)
+        assert edges == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_ring_rejects_small(self):
+        with pytest.raises(TopologyError):
+            ring_topology(2)
+
+
+def test_degree_sequence():
+    assert degree_sequence([(0, 1), (1, 2)], 3).tolist() == [1, 2, 1]

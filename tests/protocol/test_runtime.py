@@ -1,0 +1,150 @@
+"""Tests for the message-level sampling protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError, TopologyError
+from repro.network.graph import OverlayGraph
+from repro.network.messaging import MessageLedger
+from repro.network.topology import mesh_topology, ring_topology
+from repro.protocol.runtime import ProtocolConfig, ProtocolSampler
+from repro.sampling.metropolis import stationary_distribution
+from repro.sampling.mixing import total_variation
+from repro.sampling.weights import table_weights, uniform_weights
+from repro.sim.engine import SimulationEngine
+
+
+def _sampler(graph, weight, variant="bounce", seed=0, ledger=None):
+    return ProtocolSampler(
+        graph,
+        weight,
+        SimulationEngine(),
+        np.random.default_rng(seed),
+        ledger,
+        ProtocolConfig(variant=variant),
+    )
+
+
+@pytest.fixture
+def mesh():
+    return OverlayGraph(mesh_topology(16), n_nodes=16)
+
+
+class TestConfig:
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(SamplingError):
+            ProtocolConfig(variant="telepathy")
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(SamplingError):
+            ProtocolConfig(hop_latency=0)
+
+    def test_rejects_disconnected_overlay(self):
+        graph = OverlayGraph([(0, 1)], n_nodes=3)
+        with pytest.raises(TopologyError):
+            _sampler(graph, uniform_weights())
+
+
+class TestWalkMechanics:
+    def test_walk_completes_and_returns(self, mesh):
+        sampler = _sampler(mesh, uniform_weights())
+        sampled = sampler.run_walks(origin=0, n=5, walk_length=30)
+        assert len(sampled) == 5
+        assert all(node in mesh for node in sampled)
+        for walker_id in range(5):
+            outcome = sampler.outcome(walker_id)
+            assert outcome is not None
+            assert outcome.completed_at > 0  # latency actually elapsed
+
+    def test_invalid_walk_parameters(self, mesh):
+        sampler = _sampler(mesh, uniform_weights())
+        with pytest.raises(SamplingError):
+            sampler.start_walk(origin=99, walk_length=10)
+        with pytest.raises(SamplingError):
+            sampler.start_walk(origin=0, walk_length=0)
+
+    def test_return_messages_match_hop_distance(self, mesh):
+        """Every return costs exactly the sampled node's hop distance."""
+        ledger = MessageLedger()
+        sampler = _sampler(mesh, uniform_weights(), ledger=ledger)
+        sampled = sampler.run_walks(origin=0, n=20, walk_length=25)
+        distances = mesh.hop_distances(0)
+        expected = sum(distances[node] for node in sampled)
+        assert ledger.sample_returns == expected
+
+    def test_latency_scales_completion_time(self, mesh):
+        times = {}
+        for latency in (1, 3):
+            sampler = ProtocolSampler(
+                mesh,
+                uniform_weights(),
+                SimulationEngine(),
+                np.random.default_rng(0),
+                config=ProtocolConfig(hop_latency=latency),
+            )
+            sampler.run_walks(origin=0, n=1, walk_length=20)
+            times[latency] = sampler.outcome(0).completed_at
+        assert times[3] == 3 * times[1]
+
+
+class TestVariantCosts:
+    def test_bounce_counts_rejections(self):
+        """Bounce messages appear exactly when weights are nonuniform."""
+        graph = OverlayGraph(ring_topology(8), n_nodes=8)
+        weights = {node: float(1 + node % 3) for node in graph.nodes()}
+        sampler = _sampler(graph, table_weights(weights), variant="bounce")
+        sampler.run_walks(origin=0, n=30, walk_length=40)
+        assert sampler.bounces > 0
+        assert sampler.advertisements_sent == 0
+
+    def test_uniform_weights_never_bounce_on_regular_graph(self):
+        graph = OverlayGraph(ring_topology(8), n_nodes=8)  # 2-regular
+        sampler = _sampler(graph, uniform_weights(), variant="bounce")
+        sampler.run_walks(origin=0, n=20, walk_length=30)
+        assert sampler.bounces == 0
+
+    def test_cached_setup_flood_costs(self, mesh):
+        ledger = MessageLedger()
+        sampler = _sampler(mesh, uniform_weights(), variant="cached", ledger=ledger)
+        assert sampler.advertisements_sent == 2 * mesh.n_edges()
+        assert ledger.breakdown()["control:weight_advertisement"] == (
+            2 * mesh.n_edges()
+        )
+
+    def test_weight_change_readvertises(self, mesh):
+        weights = {node: 1.0 for node in mesh.nodes()}
+        sampler = _sampler(mesh, table_weights(weights), variant="cached")
+        before = sampler.advertisements_sent
+        weights[5] = 9.0
+        sampler.notify_weight_change(5)
+        assert sampler.advertisements_sent == before + mesh.degree(5)
+
+    def test_bounce_variant_ignores_weight_notifications(self, mesh):
+        sampler = _sampler(mesh, uniform_weights(), variant="bounce")
+        sampler.notify_weight_change(0)
+        assert sampler.advertisements_sent == 0
+
+    def test_cost_bracketing(self):
+        """cached <= abstract <= bounce walk messages per walk."""
+        from repro.experiments.protocol_validation import run
+
+        result = run(n_nodes=40, n_walks=600, walk_length=60, seed=1)
+        costs = {row.variant: row.walk_messages_per_walk for row in result.rows}
+        assert costs["cached"] <= result.abstract_messages_per_walk
+        assert result.abstract_messages_per_walk <= costs["bounce"]
+
+
+class TestDistributionalAgreement:
+    @pytest.mark.parametrize("variant", ["bounce", "cached"])
+    def test_matches_target_distribution(self, variant):
+        """Protocol-executed walks sample the Metropolis target."""
+        graph = OverlayGraph(mesh_topology(16), n_nodes=16)
+        weights = {node: float(1 + node % 4) for node in graph.nodes()}
+        weight = table_weights(weights)
+        _, target = stationary_distribution(graph, weight)
+        sampler = _sampler(graph, weight, variant=variant, seed=2)
+        sampled = sampler.run_walks(origin=0, n=4000, walk_length=150)
+        counts = np.zeros(16)
+        for node in sampled:
+            counts[node] += 1
+        assert total_variation(counts / counts.sum(), target) < 0.05

@@ -1,0 +1,140 @@
+"""Tests for the Metropolis forwarding construction (Eq. 12, Theorems 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.db.relation import P2PDatabase, Schema
+from repro.errors import SamplingError, TopologyError
+from repro.network.graph import OverlayGraph
+from repro.network.topology import (
+    mesh_topology,
+    power_law_topology,
+    ring_topology,
+)
+from repro.sampling.metropolis import (
+    acceptance_probability,
+    metropolis_matrix,
+    stationary_distribution,
+)
+from repro.sampling.weights import (
+    content_size_weights,
+    table_weights,
+    uniform_weights,
+)
+
+
+class TestAcceptance:
+    def test_symmetric_uniform(self):
+        assert acceptance_probability(1.0, 4, 1.0, 4) == 1.0
+
+    def test_favors_heavier_target(self):
+        # moving to a heavier node is always accepted
+        assert acceptance_probability(1.0, 3, 5.0, 3) == 1.0
+        # moving to a lighter node is damped by the weight ratio
+        assert acceptance_probability(5.0, 3, 1.0, 3) == pytest.approx(0.2)
+
+    def test_degree_correction(self):
+        # uniform weights, i has degree 2, j degree 4: accept with d_i/d_j
+        assert acceptance_probability(1.0, 2, 1.0, 4) == pytest.approx(0.5)
+
+    def test_zero_weight_always_leaves(self):
+        assert acceptance_probability(0.0, 3, 1.0, 3) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SamplingError):
+            acceptance_probability(1.0, 0, 1.0, 1)
+        with pytest.raises(SamplingError):
+            acceptance_probability(-1.0, 1, 1.0, 1)
+
+
+def _check_chain(graph, weight, laziness=0.5):
+    """Shared assertions: stochastic rows, detailed balance, stationarity."""
+    node_ids, matrix = metropolis_matrix(graph, weight, laziness=laziness)
+    _, pi = stationary_distribution(graph, weight)
+    # row stochastic, non-negative
+    np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-12)
+    assert (matrix >= -1e-15).all()
+    # detailed balance: pi_i P_ij == pi_j P_ji
+    balance = pi[:, None] * matrix
+    np.testing.assert_allclose(balance, balance.T, atol=1e-12)
+    # stationarity: pi P == pi
+    np.testing.assert_allclose(pi @ matrix, pi, atol=1e-12)
+    return node_ids, matrix, pi
+
+
+class TestChainConstruction:
+    def test_uniform_on_mesh(self):
+        graph = OverlayGraph(mesh_topology(25), n_nodes=25)
+        _check_chain(graph, uniform_weights())
+
+    def test_uniform_on_ring(self):
+        graph = OverlayGraph(ring_topology(10), n_nodes=10)
+        _check_chain(graph, uniform_weights())
+
+    def test_nonuniform_on_power_law(self):
+        rng = np.random.default_rng(0)
+        graph = OverlayGraph(power_law_topology(60, rng=rng), n_nodes=60)
+        weights = {node: float(1 + rng.integers(1, 10)) for node in graph.nodes()}
+        _check_chain(graph, table_weights(weights))
+
+    def test_content_size_weights(self):
+        graph = OverlayGraph(mesh_topology(16), n_nodes=16)
+        database = P2PDatabase(Schema(("v",)), graph.nodes())
+        rng = np.random.default_rng(1)
+        for node in graph.nodes():
+            for _ in range(1 + int(rng.integers(0, 4))):
+                database.insert(node, {"v": 0.0})
+        _, _, pi = _check_chain(graph, content_size_weights(database))
+        sizes = np.array([len(database.store(n)) for n in sorted(graph.nodes())])
+        np.testing.assert_allclose(pi, sizes / sizes.sum(), atol=1e-12)
+
+    def test_laziness_zero(self):
+        graph = OverlayGraph(mesh_topology(9), n_nodes=9)
+        _, matrix, _ = _check_chain(graph, uniform_weights(), laziness=0.0)
+        # without laziness, proposals carry full mass: uniform weights on a
+        # corner node (degree 2) put 1/2 on each neighbor
+        node_ids, _ = metropolis_matrix(graph, uniform_weights(), laziness=0.0)
+
+    def test_laziness_half_diagonal(self):
+        graph = OverlayGraph(ring_topology(6), n_nodes=6)
+        _, matrix = metropolis_matrix(graph, uniform_weights(), laziness=0.5)
+        assert (np.diag(matrix) >= 0.5 - 1e-12).all()
+
+    def test_invalid_laziness(self):
+        graph = OverlayGraph(ring_topology(4), n_nodes=4)
+        with pytest.raises(SamplingError):
+            metropolis_matrix(graph, uniform_weights(), laziness=1.0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(TopologyError):
+            metropolis_matrix(OverlayGraph([]), uniform_weights())
+
+    def test_all_zero_weights_rejected(self):
+        graph = OverlayGraph(ring_topology(4), n_nodes=4)
+        with pytest.raises(SamplingError):
+            metropolis_matrix(graph, lambda node: 0.0)
+
+    def test_zero_weight_node_is_transient(self):
+        """A zero-weight node gets zero stationary mass but stays reachable."""
+        graph = OverlayGraph(ring_topology(5), n_nodes=5)
+        weights = {0: 0.0, 1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0}
+        node_ids, matrix = metropolis_matrix(graph, table_weights(weights))
+        _, pi = stationary_distribution(graph, table_weights(weights))
+        assert pi[0] == 0.0
+        # power iteration converges to pi despite the transient state
+        distribution = np.full(5, 0.2)
+        for _ in range(2000):
+            distribution = distribution @ matrix
+        np.testing.assert_allclose(distribution, pi, atol=1e-6)
+
+
+class TestStationaryDistribution:
+    def test_normalization(self):
+        graph = OverlayGraph(ring_topology(4), n_nodes=4)
+        _, pi = stationary_distribution(graph, table_weights({0: 1, 1: 2, 2: 3, 3: 4}))
+        np.testing.assert_allclose(pi, [0.1, 0.2, 0.3, 0.4])
+
+    def test_rejects_nan_weight(self):
+        graph = OverlayGraph(ring_topology(4), n_nodes=4)
+        with pytest.raises(SamplingError):
+            stationary_distribution(graph, lambda node: float("nan"))

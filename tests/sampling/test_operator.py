@@ -1,0 +1,202 @@
+"""Tests for the sampling operator S."""
+
+import numpy as np
+import pytest
+
+from repro.db.relation import P2PDatabase, Schema
+from repro.errors import SamplingError
+from repro.network.graph import OverlayGraph
+from repro.network.messaging import MessageLedger
+from repro.network.topology import mesh_topology, power_law_topology
+from repro.sampling.mixing import total_variation
+from repro.sampling.operator import SamplerConfig, SamplingOperator
+from repro.sampling.weights import table_weights, uniform_weights
+
+
+def _world(n=36, tuples_low=1, tuples_high=6, seed=0):
+    rng = np.random.default_rng(seed)
+    graph = OverlayGraph(mesh_topology(n), n_nodes=n)
+    database = P2PDatabase(Schema(("v",)), graph.nodes())
+    for node in graph.nodes():
+        for _ in range(int(rng.integers(tuples_low, tuples_high))):
+            database.insert(node, {"v": float(rng.normal(0, 1))})
+    return graph, database
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SamplerConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gamma": 0.0},
+            {"gamma": 1.0},
+            {"laziness": 1.0},
+            {"walk_length": 0},
+            {"reset_length": 0},
+            {"recompute_drift": 0.0},
+            {"length_policy": "bogus"},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(SamplingError):
+            SamplerConfig(**kwargs)
+
+
+class TestNodeSampling:
+    def test_respects_weight_function(self):
+        graph, _ = _world()
+        weights = {node: 1.0 if node < 18 else 3.0 for node in graph.nodes()}
+        operator = SamplingOperator(
+            graph,
+            np.random.default_rng(0),
+            config=SamplerConfig(gamma=0.02, continued_walks=False),
+        )
+        samples = operator.sample_nodes(table_weights(weights), 6000, origin=0)
+        counts = np.zeros(36)
+        for node in samples:
+            counts[node] += 1
+        target = np.array([weights[n] for n in range(36)])
+        target = target / target.sum()
+        assert total_variation(counts / counts.sum(), target) < 0.05
+
+    def test_zero_samples(self):
+        graph, _ = _world()
+        operator = SamplingOperator(graph, np.random.default_rng(0))
+        assert operator.sample_nodes(uniform_weights(), 0, origin=0) == []
+
+    def test_negative_samples_rejected(self):
+        graph, _ = _world()
+        operator = SamplingOperator(graph, np.random.default_rng(0))
+        with pytest.raises(SamplingError):
+            operator.sample_nodes(uniform_weights(), -1, origin=0)
+
+    def test_unknown_origin_rejected(self):
+        graph, _ = _world()
+        operator = SamplingOperator(graph, np.random.default_rng(0))
+        with pytest.raises(SamplingError):
+            operator.sample_nodes(uniform_weights(), 1, origin=999)
+
+    def test_fixed_walk_length_used(self):
+        graph, _ = _world()
+        ledger = MessageLedger()
+        operator = SamplingOperator(
+            graph,
+            np.random.default_rng(0),
+            ledger,
+            SamplerConfig(walk_length=40, continued_walks=False, laziness=0.0),
+        )
+        operator.sample_nodes(uniform_weights(), 10, origin=0)
+        assert ledger.walk_steps == 400  # every step proposes at laziness 0
+
+    def test_continued_walks_cheaper(self):
+        graph, database = _world(64)
+        costs = {}
+        for continued in (True, False):
+            ledger = MessageLedger()
+            operator = SamplingOperator(
+                graph,
+                np.random.default_rng(0),
+                ledger,
+                SamplerConfig(continued_walks=continued),
+            )
+            for _ in range(4):
+                operator.sample_nodes(uniform_weights(), 20, origin=0)
+                if not continued:
+                    operator.reset_pool()
+            costs[continued] = ledger.walk_steps
+        assert costs[True] < costs[False]
+
+    def test_pool_survives_and_prunes_on_churn(self):
+        graph, database = _world(49)
+        operator = SamplingOperator(
+            graph, np.random.default_rng(0), config=SamplerConfig()
+        )
+        operator.sample_nodes(uniform_weights(), 10, origin=0)
+        assert operator._pool_nodes  # continued pool populated
+        # remove a sampled node; the pool entry must not be reused
+        victim = operator._pool_nodes[0]
+        graph.leave(victim)
+        samples = operator.sample_nodes(uniform_weights(), 10, origin=0)
+        assert victim not in samples
+
+    def test_sample_returns_counted(self):
+        graph, _ = _world()
+        ledger = MessageLedger()
+        operator = SamplingOperator(graph, np.random.default_rng(0), ledger)
+        operator.sample_nodes(uniform_weights(), 5, origin=0)
+        assert ledger.sample_returns > 0
+
+    def test_eigengap_cached_until_drift(self):
+        graph, _ = _world(49)
+        operator = SamplingOperator(graph, np.random.default_rng(0))
+        operator.sample_nodes(uniform_weights(), 1, origin=0)
+        first_gap = operator.last_eigengap
+        # tiny change: cache should persist (drift below threshold)
+        graph.join(attach_to=[0, 1])
+        operator.sample_nodes(uniform_weights(), 1, origin=0)
+        assert operator.last_eigengap == first_gap
+        operator.invalidate_walk_length_cache()
+        operator.sample_nodes(uniform_weights(), 1, origin=0)
+        assert operator.last_eigengap is not None
+
+    def test_theorem3_policy_runs(self):
+        graph, _ = _world(25)
+        operator = SamplingOperator(
+            graph,
+            np.random.default_rng(0),
+            config=SamplerConfig(length_policy="theorem3", gamma=0.1),
+        )
+        samples = operator.sample_nodes(uniform_weights(), 5, origin=0)
+        assert len(samples) == 5
+
+
+class TestTupleSampling:
+    def test_two_stage_uniform_over_tuples(self):
+        """Two-stage sampling makes every tuple ~equally likely."""
+        graph, database = _world(25, tuples_low=1, tuples_high=8, seed=2)
+        operator = SamplingOperator(
+            graph,
+            np.random.default_rng(3),
+            config=SamplerConfig(gamma=0.02, continued_walks=False),
+        )
+        counts: dict[int, int] = {}
+        for sample in operator.sample_tuples(database, 8000, origin=0):
+            counts[sample.tuple_id] = counts.get(sample.tuple_id, 0) + 1
+        n = database.n_tuples
+        empirical = np.array([counts.get(t, 0) for t in range(n)], dtype=float)
+        empirical /= empirical.sum()
+        assert total_variation(empirical, np.full(n, 1.0 / n)) < 0.08
+
+    def test_sample_row_matches_database(self):
+        graph, database = _world()
+        operator = SamplingOperator(graph, np.random.default_rng(0))
+        for sample in operator.sample_tuples(database, 10, origin=0):
+            assert database.locate(sample.tuple_id) == sample.node
+            assert database.read(sample.tuple_id) == sample.row
+
+    def test_empty_relation_rejected(self):
+        graph = OverlayGraph(mesh_topology(9), n_nodes=9)
+        database = P2PDatabase(Schema(("v",)), graph.nodes())
+        operator = SamplingOperator(graph, np.random.default_rng(0))
+        with pytest.raises(SamplingError):
+            operator.sample_tuples(database, 1, origin=0)
+
+    def test_empty_nodes_skipped(self):
+        """Nodes with no tuples have zero weight and yield no samples."""
+        graph = OverlayGraph(mesh_topology(16), n_nodes=16)
+        database = P2PDatabase(Schema(("v",)), graph.nodes())
+        for node in range(8):  # only half the nodes hold data
+            database.insert(node, {"v": 1.0})
+        operator = SamplingOperator(graph, np.random.default_rng(0))
+        samples = operator.sample_tuples(database, 50, origin=0)
+        assert len(samples) == 50
+        assert all(s.node < 8 for s in samples)
+
+    def test_cluster_sample_returns_whole_fragment(self):
+        graph, database = _world()
+        operator = SamplingOperator(graph, np.random.default_rng(0))
+        node, batch = operator.cluster_sample(database, origin=0)
+        assert len(batch) == len(database.store(node))
+        assert all(s.node == node for s in batch)

@@ -1,0 +1,136 @@
+"""Tests for the sampling operator's walk-length policies and caching."""
+
+import numpy as np
+import pytest
+
+from repro.db.relation import P2PDatabase, Schema
+from repro.network.graph import OverlayGraph
+from repro.network.messaging import MessageLedger
+from repro.network.topology import augmented_mesh_topology, mesh_topology
+from repro.sampling.operator import SamplerConfig, SamplingOperator
+from repro.sampling.weights import uniform_weights
+
+
+def _graph(n=49, augmented=False, seed=0):
+    if augmented:
+        edges = augmented_mesh_topology(n, rng=np.random.default_rng(seed))
+    else:
+        edges = mesh_topology(n)
+    return OverlayGraph(edges, n_nodes=n)
+
+
+class TestLengthPolicies:
+    def test_empirical_shorter_than_theorem3(self):
+        """The exact mixing length is well below the analytic bound."""
+        lengths = {}
+        for policy in ("empirical", "theorem3"):
+            graph = _graph()
+            ledger = MessageLedger()
+            operator = SamplingOperator(
+                graph,
+                np.random.default_rng(0),
+                ledger,
+                SamplerConfig(
+                    gamma=0.05,
+                    length_policy=policy,
+                    continued_walks=False,
+                    laziness=0.0,  # every step proposes: msgs == steps
+                ),
+            )
+            operator.sample_nodes(uniform_weights(), 1, origin=0)
+            lengths[policy] = ledger.walk_steps
+        assert lengths["empirical"] < lengths["theorem3"]
+        assert lengths["empirical"] >= 1
+
+    def test_explicit_walk_length_bypasses_spectral(self):
+        graph = _graph()
+        operator = SamplingOperator(
+            graph,
+            np.random.default_rng(0),
+            config=SamplerConfig(walk_length=17),
+        )
+        operator.sample_nodes(uniform_weights(), 2, origin=0)
+        assert operator.last_eigengap is None  # never computed
+
+    def test_reset_length_override(self):
+        graph = _graph()
+        ledger = MessageLedger()
+        operator = SamplingOperator(
+            graph,
+            np.random.default_rng(0),
+            ledger,
+            SamplerConfig(walk_length=50, reset_length=5, laziness=0.0),
+        )
+        operator.sample_nodes(uniform_weights(), 1, origin=0)
+        first = ledger.walk_steps
+        operator.sample_nodes(uniform_weights(), 1, origin=0)
+        assert first == 50
+        assert ledger.walk_steps - first == 5  # continued walk: reset only
+
+    def test_tighter_gamma_longer_walks(self):
+        lengths = {}
+        for gamma in (0.2, 0.01):
+            graph = _graph()
+            ledger = MessageLedger()
+            operator = SamplingOperator(
+                graph,
+                np.random.default_rng(0),
+                ledger,
+                SamplerConfig(
+                    gamma=gamma, continued_walks=False, laziness=0.0
+                ),
+            )
+            operator.sample_nodes(uniform_weights(), 1, origin=0)
+            lengths[gamma] = ledger.walk_steps
+        assert lengths[0.01] > lengths[0.2]
+
+    def test_origin_change_recomputes(self):
+        graph = _graph(augmented=True)
+        operator = SamplingOperator(graph, np.random.default_rng(0))
+        operator.sample_nodes(uniform_weights(), 1, origin=0)
+        gap_before = operator.last_eigengap
+        # different origin: the empirical mix length depends on the start
+        operator.sample_nodes(uniform_weights(), 1, origin=5)
+        assert operator.last_eigengap is not None
+        assert gap_before is not None
+
+    def test_drift_triggers_recompute(self):
+        graph = _graph()
+        operator = SamplingOperator(
+            graph,
+            np.random.default_rng(0),
+            config=SamplerConfig(recompute_drift=0.05),
+        )
+        operator.sample_nodes(uniform_weights(), 1, origin=0)
+        mix_before = operator._spectral.mix_length
+        # grow the overlay by >5%: spectral cache must refresh
+        for _ in range(4):
+            graph.join(attach_to=[0, 1], rng=np.random.default_rng(1))
+        operator.sample_nodes(uniform_weights(), 1, origin=0)
+        assert operator._spectral.n_nodes == len(graph)
+        assert operator._spectral.valid
+
+
+class TestStatistics:
+    def test_samples_drawn_counter(self):
+        graph = _graph()
+        operator = SamplingOperator(graph, np.random.default_rng(0))
+        operator.sample_nodes(uniform_weights(), 7, origin=0)
+        operator.sample_nodes(uniform_weights(), 3, origin=0)
+        assert operator.samples_drawn == 10
+        assert operator.walks_started >= 7  # continued pool reuses later
+
+    def test_reset_pool_forces_full_mixing(self):
+        graph = _graph()
+        ledger = MessageLedger()
+        operator = SamplingOperator(
+            graph,
+            np.random.default_rng(0),
+            ledger,
+            SamplerConfig(walk_length=40, reset_length=4, laziness=0.0),
+        )
+        operator.sample_nodes(uniform_weights(), 1, origin=0)
+        operator.reset_pool()
+        before = ledger.walk_steps
+        operator.sample_nodes(uniform_weights(), 1, origin=0)
+        assert ledger.walk_steps - before == 40  # full mixing again

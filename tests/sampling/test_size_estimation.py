@@ -1,0 +1,118 @@
+"""Tests for capture-recapture size estimation."""
+
+import numpy as np
+import pytest
+
+from repro.db.relation import P2PDatabase, Schema
+from repro.errors import SamplingError
+from repro.network.graph import OverlayGraph
+from repro.network.topology import power_law_topology
+from repro.sampling.operator import SamplerConfig, SamplingOperator
+from repro.sampling.size_estimation import (
+    chapman_estimate,
+    estimate_network_size,
+    estimate_relation_size,
+)
+
+
+class TestChapman:
+    def test_formula(self):
+        # (11 * 11 / 3) - 1 = 39.33...
+        assert chapman_estimate(10, 10, 2) == pytest.approx(121 / 3 - 1)
+
+    def test_zero_recaptures_defined(self):
+        assert chapman_estimate(10, 10, 0) == 120.0
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            chapman_estimate(0, 10, 0)
+        with pytest.raises(SamplingError):
+            chapman_estimate(10, 10, 11)
+        with pytest.raises(SamplingError):
+            chapman_estimate(10, 10, -1)
+
+    def test_nearly_unbiased_on_synthetic(self):
+        """Average Chapman estimate over trials is close to the truth."""
+        rng = np.random.default_rng(0)
+        population = 150
+        estimates = []
+        for _ in range(300):
+            first = set(rng.integers(0, population, size=40).tolist())
+            second = rng.integers(0, population, size=40)
+            recaptures = sum(1 for x in second if int(x) in first)
+            estimates.append(chapman_estimate(len(first), len(second), recaptures))
+        assert abs(np.mean(estimates) - population) < 25
+
+
+@pytest.fixture
+def world():
+    rng = np.random.default_rng(1)
+    graph = OverlayGraph(power_law_topology(120, rng=rng), n_nodes=120)
+    database = P2PDatabase(Schema(("v",)), graph.nodes())
+    for node in graph.nodes():
+        for _ in range(3):
+            database.insert(node, {"v": 0.0})
+    return graph, database
+
+
+def test_network_size_estimate(world):
+    graph, _ = world
+    operator = SamplingOperator(
+        graph,
+        np.random.default_rng(2),
+        config=SamplerConfig(continued_walks=False, gamma=0.02),
+    )
+    estimate = estimate_network_size(operator, origin=0, phase_size=80)
+    assert 50 <= estimate <= 300  # truth: 120
+
+
+def test_relation_size_estimate(world):
+    graph, database = world
+    operator = SamplingOperator(
+        graph,
+        np.random.default_rng(3),
+        config=SamplerConfig(continued_walks=False, gamma=0.02),
+    )
+    estimate = estimate_relation_size(operator, database, origin=0, phase_size=80)
+    assert 150 <= estimate <= 900  # truth: 360
+
+
+class TestChapmanVariance:
+    def test_formula(self):
+        from repro.sampling.size_estimation import chapman_variance
+
+        # m=10, n=10, k=2: 11*11*8*8 / (9*4) = 7744/36
+        assert chapman_variance(10, 10, 2) == pytest.approx(7744 / 36)
+
+    def test_more_recaptures_less_variance(self):
+        from repro.sampling.size_estimation import chapman_variance
+
+        assert chapman_variance(50, 50, 20) < chapman_variance(50, 50, 5)
+
+    def test_validation(self):
+        from repro.sampling.size_estimation import chapman_variance
+
+        with pytest.raises(SamplingError):
+            chapman_variance(0, 10, 0)
+        with pytest.raises(SamplingError):
+            chapman_variance(10, 10, 11)
+
+    def test_calibrated_against_monte_carlo(self):
+        """Seber's variance tracks the empirical estimator variance."""
+        from repro.sampling.size_estimation import (
+            chapman_estimate,
+            chapman_variance,
+        )
+
+        rng = np.random.default_rng(0)
+        population = 200
+        estimates, variances = [], []
+        for _ in range(800):
+            first = set(rng.integers(0, population, size=50).tolist())
+            second = rng.integers(0, population, size=50)
+            k = sum(1 for x in second if int(x) in first)
+            estimates.append(chapman_estimate(len(first), 50, k))
+            variances.append(chapman_variance(len(first), 50, k))
+        empirical = float(np.var(estimates))
+        predicted = float(np.mean(variances))
+        assert empirical == pytest.approx(predicted, rel=0.5)

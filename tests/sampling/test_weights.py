@@ -1,0 +1,61 @@
+"""Tests for node weight functions."""
+
+import pytest
+
+from repro.db.relation import P2PDatabase, Schema
+from repro.errors import SamplingError
+from repro.network.graph import OverlayGraph
+from repro.network.topology import ring_topology
+from repro.sampling.weights import (
+    content_size_weights,
+    degree_weights,
+    table_weights,
+    uniform_weights,
+    validate_weights,
+)
+
+
+def test_uniform():
+    weight = uniform_weights()
+    assert weight(0) == weight(999) == 1.0
+
+
+def test_content_size_tracks_database():
+    database = P2PDatabase(Schema(("v",)), nodes=[0, 1])
+    weight = content_size_weights(database)
+    assert weight(0) == 0.0
+    tid = database.insert(0, {"v": 1.0})
+    assert weight(0) == 1.0  # live view, not a snapshot
+    database.delete(tid)
+    assert weight(0) == 0.0
+
+
+def test_content_size_floor():
+    database = P2PDatabase(Schema(("v",)), nodes=[0])
+    weight = content_size_weights(database, floor=0.1)
+    assert weight(0) == 0.1
+    with pytest.raises(SamplingError):
+        content_size_weights(database, floor=-1.0)
+
+
+def test_degree_weights():
+    graph = OverlayGraph(ring_topology(5), n_nodes=5)
+    weight = degree_weights(graph)
+    assert weight(0) == 2.0
+
+
+def test_table_weights():
+    weight = table_weights({0: 2.0, 1: 3.0})
+    assert weight(1) == 3.0
+    with pytest.raises(SamplingError):
+        weight(7)
+    with pytest.raises(SamplingError):
+        table_weights({0: -1.0})
+
+
+def test_validate_weights():
+    validate_weights(uniform_weights(), [0, 1, 2])
+    with pytest.raises(SamplingError, match="all node weights are zero"):
+        validate_weights(lambda node: 0.0, [0, 1])
+    with pytest.raises(SamplingError, match="invalid"):
+        validate_weights(lambda node: float("nan"), [0])

@@ -1,0 +1,45 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimulationClock
+
+
+def test_starts_at_zero():
+    assert SimulationClock().now == 0
+
+
+def test_custom_start():
+    assert SimulationClock(5).now == 5
+
+
+def test_negative_start_rejected():
+    with pytest.raises(SimulationError):
+        SimulationClock(-1)
+
+
+def test_advance_forward_only():
+    clock = SimulationClock(3)
+    clock.advance_to(7)
+    assert clock.now == 7
+    with pytest.raises(SimulationError):
+        clock.advance_to(6)
+
+
+def test_advance_to_same_time_ok():
+    clock = SimulationClock(3)
+    clock.advance_to(3)
+    assert clock.now == 3
+
+
+def test_tick():
+    clock = SimulationClock()
+    assert clock.tick() == 1
+    assert clock.tick(4) == 5
+    with pytest.raises(SimulationError):
+        clock.tick(-1)
+
+
+def test_repr():
+    assert "now=2" in repr(SimulationClock(2))

@@ -1,0 +1,123 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    PRIORITY_CHURN,
+    PRIORITY_QUERY,
+    PRIORITY_UPDATES,
+    SimulationEngine,
+)
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine()
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self, engine):
+        log = []
+        engine.schedule_at(5, lambda t: log.append(("b", t)))
+        engine.schedule_at(2, lambda t: log.append(("a", t)))
+        engine.run_until(10)
+        assert log == [("a", 2), ("b", 5)]
+        assert engine.now == 10
+
+    def test_priority_breaks_ties(self, engine):
+        log = []
+        engine.schedule_at(3, lambda t: log.append("query"), PRIORITY_QUERY)
+        engine.schedule_at(3, lambda t: log.append("update"), PRIORITY_UPDATES)
+        engine.schedule_at(3, lambda t: log.append("churn"), PRIORITY_CHURN)
+        engine.run_until(3)
+        assert log == ["update", "churn", "query"]
+
+    def test_sequence_breaks_remaining_ties(self, engine):
+        log = []
+        engine.schedule_at(1, lambda t: log.append("first"))
+        engine.schedule_at(1, lambda t: log.append("second"))
+        engine.run_until(1)
+        assert log == ["first", "second"]
+
+    def test_schedule_in_past_rejected(self, engine):
+        engine.run_until(5)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(4, lambda t: None)
+
+    def test_schedule_in(self, engine):
+        log = []
+        engine.run_until(2)
+        engine.schedule_in(3, lambda t: log.append(t))
+        engine.run_until(10)
+        assert log == [5]
+        with pytest.raises(SimulationError):
+            engine.schedule_in(-1, lambda t: None)
+
+    def test_actions_can_schedule_more(self, engine):
+        log = []
+
+        def chain(t):
+            log.append(t)
+            if t < 3:
+                engine.schedule_at(t + 1, chain)
+
+        engine.schedule_at(0, chain)
+        engine.run_until(10)
+        assert log == [0, 1, 2, 3]
+
+    def test_cancel(self, engine):
+        log = []
+        event = engine.schedule_at(2, lambda t: log.append(t))
+        event.cancel()
+        engine.run_until(5)
+        assert log == []
+
+    def test_run_until_backwards_rejected(self, engine):
+        engine.run_until(5)
+        with pytest.raises(SimulationError):
+            engine.run_until(3)
+
+    def test_events_run_counter(self, engine):
+        engine.schedule_at(1, lambda t: None)
+        engine.schedule_at(2, lambda t: None)
+        engine.run_until(5)
+        assert engine.events_run == 2
+
+
+class TestRecurring:
+    def test_fires_every_period(self, engine):
+        log = []
+        engine.schedule_every(2, lambda t: log.append(t), start=1, until=9)
+        engine.run_until(20)
+        assert log == [1, 3, 5, 7, 9]
+
+    def test_cancel_stops_chain(self, engine):
+        log = []
+        handle = engine.schedule_every(1, lambda t: log.append(t))
+        engine.run_until(2)
+        handle.cancel()
+        engine.run_until(10)
+        assert log == [0, 1, 2]
+
+    def test_rejects_bad_period(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule_every(0, lambda t: None)
+
+
+class TestRunAll:
+    def test_drains_queue(self, engine):
+        log = []
+        engine.schedule_at(7, lambda t: log.append(t))
+        engine.schedule_at(3, lambda t: log.append(t))
+        engine.run_all()
+        assert log == [3, 7]
+        assert engine.now == 7
+
+    def test_runaway_guard(self, engine):
+        def forever(t):
+            engine.schedule_at(t + 1, forever)
+
+        engine.schedule_at(0, forever)
+        with pytest.raises(SimulationError, match="runaway"):
+            engine.run_all(max_events=100)

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExperimentCommand:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "combined" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["experiment", "table2", "--scale", "0.05"]) == 0
+        assert "rho" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nonsense"])
+
+
+class TestQueryCommand:
+    def test_basic_query(self, capsys):
+        code = main(
+            [
+                "query",
+                "--query",
+                "SELECT AVG(temperature) FROM R",
+                "--scale",
+                "0.04",
+                "--steps",
+                "6",
+                "--scheduler",
+                "all",
+                "--evaluator",
+                "independent",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snapshot queries" in out
+        assert "estimate=" in out
+
+    def test_filtered_avg_falls_back(self, capsys):
+        code = main(
+            [
+                "query",
+                "--query",
+                "SELECT AVG(temperature) FROM R WHERE temperature > 55",
+                "--scale",
+                "0.04",
+                "--steps",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert "falling back" in capsys.readouterr().out
+
+    def test_query_required(self):
+        with pytest.raises(SystemExit):
+            main(["query"])
+
+
+class TestTraceCommands:
+    def test_record_then_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        assert (
+            main(
+                [
+                    "trace",
+                    "record",
+                    "--output",
+                    path,
+                    "--scale",
+                    "0.04",
+                    "--steps",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        assert "recorded" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "trace",
+                    "replay",
+                    "--input",
+                    path,
+                    "--query",
+                    "SELECT AVG(temperature) FROM R",
+                    "--delta",
+                    "2",
+                    "--epsilon",
+                    "1.5",
+                ]
+            )
+            == 0
+        )
+        assert "replayed 5 steps" in capsys.readouterr().out

@@ -1,0 +1,48 @@
+"""Tests for the benchmark-results aggregator."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC_PATH = Path(__file__).parent.parent / "benchmarks" / "collect_results.py"
+
+
+@pytest.fixture
+def collector(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location("collect_results", _SPEC_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    results = tmp_path / "results"
+    results.mkdir()
+    monkeypatch.setattr(module, "RESULTS_DIR", results)
+    monkeypatch.setattr(module, "OUTPUT", tmp_path / "RESULTS.md")
+    return module, results
+
+
+def test_collects_known_and_extra_tables(collector):
+    module, results = collector
+    (results / "fig4a.txt").write_text("FIG4A TABLE\n")
+    (results / "mystery_extra.txt").write_text("EXTRA TABLE\n")
+    module.main()
+    output = (module.OUTPUT).read_text()
+    assert "## Paper artifacts" in output
+    assert "FIG4A TABLE" in output
+    assert "## Other" in output
+    assert "EXTRA TABLE" in output
+
+
+def test_empty_sections_omitted(collector):
+    module, results = collector
+    (results / "coverage_repeated.txt").write_text("COVERAGE\n")
+    module.main()
+    output = module.OUTPUT.read_text()
+    assert "## Guarantee validation" in output
+    assert "## Paper artifacts" not in output  # nothing saved for it
+
+
+def test_missing_results_dir_errors(collector, tmp_path, monkeypatch):
+    module, _ = collector
+    monkeypatch.setattr(module, "RESULTS_DIR", tmp_path / "nope")
+    assert module.main() == 1

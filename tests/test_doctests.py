@@ -1,0 +1,28 @@
+"""Run the doctest examples embedded in public docstrings.
+
+Keeps every ``>>>`` example in the documentation executable — a stale
+docstring example fails the suite.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.estimators
+import repro.core.query
+import repro.db.expression
+import repro.db.predicate
+
+MODULES = [
+    repro.db.expression,
+    repro.db.predicate,
+    repro.core.query,
+    repro.core.estimators,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0

@@ -1,0 +1,189 @@
+"""Cross-module property-based tests (hypothesis).
+
+Each property pins an invariant the system's correctness rests on, over
+randomized structures rather than hand-picked cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.repeated import combined_variance, solve_allocation
+from repro.core.result import NotificationFilter, UpdateRecord
+from repro.errors import QueryError
+from repro.network.graph import OverlayGraph
+from repro.sampling.metropolis import metropolis_matrix, stationary_distribution
+from repro.sampling.weights import table_weights
+
+
+# ----------------------------------------------------------------------
+# Metropolis stationarity over random graphs and weights
+# ----------------------------------------------------------------------
+
+@st.composite
+def connected_graph_with_weights(draw):
+    n = draw(st.integers(3, 12))
+    # random spanning tree guarantees connectivity...
+    edges = set()
+    for node in range(1, n):
+        parent = draw(st.integers(0, node - 1))
+        edges.add((parent, node))
+    # ...plus random extra edges
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    weights = {
+        node: draw(st.floats(0.1, 10.0)) for node in range(n)
+    }
+    return sorted(edges), n, weights
+
+
+@given(data=connected_graph_with_weights())
+@settings(max_examples=60, deadline=None)
+def test_property_metropolis_stationary_on_random_graphs(data):
+    edges, n, weights = data
+    graph = OverlayGraph(edges, n_nodes=n)
+    weight = table_weights(weights)
+    node_ids, matrix = metropolis_matrix(graph, weight)
+    _, pi = stationary_distribution(graph, weight)
+    np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-10)
+    assert (matrix >= -1e-12).all()
+    np.testing.assert_allclose(pi @ matrix, pi, atol=1e-10)
+    balance = pi[:, None] * matrix
+    np.testing.assert_allclose(balance, balance.T, atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# overlay graph vs a reference model under random operations
+# ----------------------------------------------------------------------
+
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["add", "remove", "join", "leave"]), st.integers(0, 9), st.integers(0, 9)),
+        max_size=40,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_property_graph_matches_reference_model(operations):
+    graph = OverlayGraph([(0, 1)], n_nodes=3)
+    model_nodes = {0, 1, 2}
+    model_edges = {(0, 1)}
+
+    def norm(u, v):
+        return (min(u, v), max(u, v))
+
+    for op, a, b in operations:
+        nodes = sorted(model_nodes)
+        if op == "add" and len(nodes) >= 2:
+            u, v = nodes[a % len(nodes)], nodes[b % len(nodes)]
+            if u != v:
+                graph.add_edge(u, v)
+                model_edges.add(norm(u, v))
+        elif op == "remove" and model_edges:
+            edge = sorted(model_edges)[a % len(model_edges)]
+            graph.remove_edge(*edge)
+            model_edges.discard(edge)
+        elif op == "join" and nodes:
+            anchor = nodes[a % len(nodes)]
+            new = graph.join(attach_to=[anchor])
+            model_nodes.add(new)
+            model_edges.add(norm(new, anchor))
+        elif op == "leave" and len(nodes) > 1:
+            victim = nodes[a % len(nodes)]
+            neighbors = list(graph.neighbors(victim))
+            graph.leave(victim, rewire=True)
+            model_nodes.discard(victim)
+            model_edges = {e for e in model_edges if victim not in e}
+            for left, right in zip(neighbors, neighbors[1:]):
+                model_edges.add(norm(left, right))
+    assert set(graph.nodes()) == model_nodes
+    assert set(graph.edges()) == model_edges
+    for node in model_nodes:
+        assert graph.degree(node) == sum(1 for e in model_edges if node in e)
+
+
+# ----------------------------------------------------------------------
+# allocation solver invariants
+# ----------------------------------------------------------------------
+
+@given(
+    sigma2=st.floats(0.1, 50.0),
+    rho=st.floats(0.0, 0.98),
+    var_prev_scale=st.floats(0.1, 3.0),
+    target_scale=st.floats(0.05, 0.9),
+    retained=st.integers(0, 500),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_allocation_meets_target_minimally(
+    sigma2, rho, var_prev_scale, target_scale, retained
+):
+    base_n = 100
+    var_prev = var_prev_scale * sigma2 / base_n
+    v_target = target_scale * sigma2 / 10
+    n, g = solve_allocation(
+        sigma2, rho, var_prev, v_target, retained_available=retained, min_n=2
+    )
+    assert 0 <= g <= min(n, retained)
+    achieved = combined_variance(sigma2, n, g, rho, var_prev)
+    assert achieved <= v_target * (1 + 1e-9)
+    # never cheaper than the information-theoretic floor of this model:
+    # even with a free perfect prior, f fresh samples cap W at n/sigma2 + W_g
+    if n > 2:
+        best_prev = min(
+            combined_variance(sigma2, n - 1, candidate, rho, var_prev)
+            for candidate in range(0, min(n - 1, retained) + 1)
+        )
+        assert best_prev > v_target * (1 - 1e-9)
+
+
+# ----------------------------------------------------------------------
+# notification filter: no firing within the delta window
+# ----------------------------------------------------------------------
+
+@given(
+    delta=st.floats(0.1, 10.0),
+    estimates=st.lists(st.floats(-100, 100), min_size=1, max_size=50),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_notifications_respect_delta(delta, estimates):
+    fired_values = []
+    filter_ = NotificationFilter(delta, lambda r: fired_values.append(r.estimate))
+    for time, estimate in enumerate(estimates):
+        filter_.offer(UpdateRecord(time=time, estimate=estimate))
+    # consecutive notifications always differ by >= delta
+    for previous, current in zip(fired_values, fired_values[1:]):
+        assert abs(current - previous) >= delta
+    # and every suppressed update was within delta of the last notification
+    assert filter_.notifications_fired == len(fired_values)
+    assert filter_.updates_seen == len(estimates)
+
+
+# ----------------------------------------------------------------------
+# trace round trip on scripted random worlds
+# ----------------------------------------------------------------------
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_steps=st.integers(2, 8),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_trace_roundtrip_random_worlds(seed, n_steps):
+    from repro.datasets.temperature import TemperatureConfig, TemperatureDataset
+    from repro.datasets.traces import TraceRecorder, replay_trace
+
+    config = TemperatureConfig().scaled(0.02)
+    source = TemperatureDataset(config, seed=seed).build()
+    recorder = TraceRecorder(source)
+    averages = []
+    for t in range(n_steps):
+        source.step(t)
+        recorder.observe(t)
+        averages.append(source.true_average())
+    replayed = replay_trace(recorder.finish())
+    for t in range(n_steps):
+        replayed.step(t)
+        assert replayed.true_average() == pytest.approx(averages[t], rel=1e-9)
