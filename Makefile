@@ -2,13 +2,33 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results examples full-scale clean
+.PHONY: install test bench results examples full-scale clean lint typecheck check
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# digest-lint (stdlib-only, always available) + ruff when installed.
+# See docs/DEVELOPMENT.md for the DGL001-DGL005 rule catalog.
+lint:
+	$(PYTHON) -m tools.digest_lint src/
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests tools benchmarks examples; \
+	else \
+		echo "ruff not installed -- skipping (pip install ruff)"; \
+	fi
+
+typecheck:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed -- skipping (pip install mypy)"; \
+	fi
+
+# everything CI runs, in CI's order
+check: lint typecheck test
 
 test-all: export REPRO_RUN_EXAMPLES=1
 test-all:

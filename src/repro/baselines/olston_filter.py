@@ -78,7 +78,7 @@ class OlstonFilterBaseline:
         origin: int,
         config: FilterConfig,
         ledger: MessageLedger | None = None,
-    ):
+    ) -> None:
         if query.op is not AggregateOp.AVG:
             raise QueryError(
                 "the filter baseline implements AVG (the paper's comparison "

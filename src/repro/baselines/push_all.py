@@ -32,7 +32,7 @@ class PushAllBaseline:
         query: Query,
         origin: int,
         ledger: MessageLedger | None = None,
-    ):
+    ) -> None:
         if origin not in graph:
             raise QueryError(f"querying node {origin} is not in the overlay")
         database.schema.validate_expression(query.expression)

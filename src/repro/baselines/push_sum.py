@@ -61,7 +61,7 @@ class PushSumBaseline:
         ledger: MessageLedger | None = None,
         tolerance: float = 1e-3,
         max_rounds: int = 10_000,
-    ):
+    ) -> None:
         if query.op is not AggregateOp.AVG:
             raise QueryError(
                 f"push-sum computes AVG; got {query.op.value} "

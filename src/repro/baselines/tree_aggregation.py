@@ -53,7 +53,7 @@ class TreeAggregationBaseline:
         origin: int,
         rebuild_interval: int = 16,
         ledger: MessageLedger | None = None,
-    ):
+    ) -> None:
         if query.op is not AggregateOp.AVG:
             raise QueryError(
                 f"the tree baseline implements AVG; got {query.op.value}"

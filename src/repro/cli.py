@@ -171,7 +171,9 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _default_precision(instance, delta, epsilon):
+def _default_precision(
+    instance: object, delta: float | None, epsilon: float | None
+) -> tuple[float, float]:
     sigma = getattr(instance.config, "expected_sigma", 1.0)
     if delta is None:
         delta = sigma

@@ -22,6 +22,7 @@ loop) or by attaching it to a :class:`~repro.sim.engine.SimulationEngine`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -91,8 +92,8 @@ class DigestEngine:
         ledger: MessageLedger | None = None,
         sampler_config: SamplerConfig | None = None,
         config: EngineConfig | None = None,
-        operator=None,
-    ):
+        operator: SamplingOperator | None = None,
+    ) -> None:
         """``operator`` lets several engines share one sampling operator
         (continued-walk pool, spectral cache, per-occasion sample reuse) —
         see :class:`repro.core.node.DigestNode`. When given, ``ledger``
@@ -176,7 +177,11 @@ class DigestEngine:
         """The running result under hold semantics."""
         return self.result.value_at(time)
 
-    def subscribe(self, callback, delta: float | None = None) -> NotificationFilter:
+    def subscribe(
+        self,
+        callback: Callable[[UpdateRecord], None],
+        delta: float | None = None,
+    ) -> NotificationFilter:
         """Register a "notify me whenever it changes by delta" callback.
 
         ``delta`` defaults to the query's own resolution parameter — the

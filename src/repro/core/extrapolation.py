@@ -81,7 +81,7 @@ class TaylorExtrapolator:
         max_horizon: int = 64,
         safety_factor: float = 1.0,
         remainder_window: int | None = None,
-    ):
+    ) -> None:
         if n_points < 2:
             raise QueryError(f"extrapolation needs >= 2 points, got {n_points}")
         if max_horizon < 1:

@@ -12,6 +12,7 @@ extra samples are drawn until the drawn count covers the requirement
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -77,9 +78,9 @@ class IndependentEvaluator:
         operator: SamplingOperator,
         origin: int,
         query: Query,
-        population_size_provider=None,
+        population_size_provider: Callable[[], float] | None = None,
         config: EvaluatorConfig | None = None,
-    ):
+    ) -> None:
         self._database = database
         self._operator = operator
         self._origin = origin

@@ -35,6 +35,7 @@ from repro.sampling.operator import (
     SamplingOperator,
     TupleSample,
 )
+from repro.sampling.weights import WeightFunction
 from repro.sim.engine import PRIORITY_QUERY, SimulationEngine
 
 
@@ -48,7 +49,7 @@ class SharedSampleSource:
     called when the time step advances (the node does this).
     """
 
-    def __init__(self, operator: SamplingOperator):
+    def __init__(self, operator: SamplingOperator) -> None:
         self._operator = operator
         self._occasion: int | None = None
         self._cache: list[TupleSample] = []
@@ -77,7 +78,7 @@ class SharedSampleSource:
             served = served + fresh
         return served
 
-    def sample_nodes(self, weight, n: int, origin: int) -> list[int]:
+    def sample_nodes(self, weight: WeightFunction, n: int, origin: int) -> list[int]:
         """Pass-through (node sampling has no per-occasion reuse semantics)."""
         return self._operator.sample_nodes(weight, n, origin)
 
@@ -100,7 +101,7 @@ class DigestNode:
         ledger: MessageLedger | None = None,
         sampler_config: SamplerConfig | None = None,
         share_samples: bool = True,
-    ):
+    ) -> None:
         if origin not in graph:
             raise QueryError(f"node {origin} is not in the overlay")
         self._graph = graph

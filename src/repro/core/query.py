@@ -117,7 +117,7 @@ class Precision:
 
     @property
     def is_exact(self) -> bool:
-        return self.delta == 0.0 and self.epsilon == 0.0 and self.confidence == 1.0
+        return self.delta == 0.0 and self.epsilon == 0.0 and self.confidence >= 1.0
 
 
 @dataclass(frozen=True)

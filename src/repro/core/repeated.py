@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -231,10 +232,10 @@ class RepeatedEvaluator:
         origin: int,
         query: Query,
         rng: np.random.Generator,
-        population_size_provider=None,
+        population_size_provider: Callable[[], float] | None = None,
         config: EvaluatorConfig | None = None,
         initial_rho: float = 0.0,
-    ):
+    ) -> None:
         self._database = database
         self._operator = operator
         self._origin = origin

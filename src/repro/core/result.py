@@ -58,7 +58,7 @@ class NotificationFilter:
     user.
     """
 
-    def __init__(self, delta: float, callback: Callable[[UpdateRecord], None]):
+    def __init__(self, delta: float, callback: Callable[[UpdateRecord], None]) -> None:
         if delta < 0:
             raise QueryError(f"delta must be >= 0, got {delta}")
         self._delta = delta

@@ -30,7 +30,7 @@ class SnapshotScheduler(Protocol):
 class ContinuousScheduler:
     """``ALL``: a snapshot query at every step (optionally every ``period``)."""
 
-    def __init__(self, period: int = 1):
+    def __init__(self, period: int = 1) -> None:
         if period < 1:
             raise QueryError(f"period must be >= 1, got {period}")
         self.period = period
@@ -54,7 +54,7 @@ class ExtrapolationScheduler:
         period: int = 1,
         max_horizon: int = 64,
         safety_factor: float = 1.0,
-    ):
+    ) -> None:
         if delta < 0:
             raise QueryError(f"delta must be >= 0, got {delta}")
         if period < 1:

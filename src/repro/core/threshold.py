@@ -70,7 +70,7 @@ class ThresholdMonitor:
         confidence: float = 0.95,
         margin: float = 0.0,
         callback: Callable[[ThresholdEvent], None] | None = None,
-    ):
+    ) -> None:
         if not 0.0 < confidence < 1.0:
             raise QueryError(f"confidence must be in (0, 1), got {confidence}")
         if margin < 0:

@@ -56,7 +56,7 @@ class DatasetInstance(abc.ABC):
         database: P2PDatabase,
         attribute: str,
         n_steps: int,
-    ):
+    ) -> None:
         self.graph = graph
         self.database = database
         self.attribute = attribute

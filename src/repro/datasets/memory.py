@@ -115,7 +115,7 @@ class _UnitState:
 class MemoryInstance(DatasetInstance):
     """Live MEMORY world with churn; call :meth:`step` once per step."""
 
-    def __init__(self, config: MemoryConfig, rng: np.random.Generator):
+    def __init__(self, config: MemoryConfig, rng: np.random.Generator) -> None:
         edges = power_law_topology(
             config.n_nodes, alpha=config.power_law_alpha, rng=rng
         )
@@ -238,7 +238,7 @@ class MemoryInstance(DatasetInstance):
 class MemoryDataset:
     """Factory tying a :class:`MemoryConfig` to a seed."""
 
-    def __init__(self, config: MemoryConfig | None = None, seed: int = 0):
+    def __init__(self, config: MemoryConfig | None = None, seed: int = 0) -> None:
         self.config = config if config is not None else MemoryConfig()
         self.seed = seed
 

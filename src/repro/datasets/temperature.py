@@ -127,7 +127,7 @@ class TemperatureConfig:
 class TemperatureInstance(DatasetInstance):
     """Live TEMPERATURE world: call :meth:`step` once per 12-hour step."""
 
-    def __init__(self, config: TemperatureConfig, rng: np.random.Generator):
+    def __init__(self, config: TemperatureConfig, rng: np.random.Generator) -> None:
         edges = augmented_mesh_topology(
             config.n_nodes, config.long_link_fraction, rng
         )
@@ -199,7 +199,7 @@ class TemperatureInstance(DatasetInstance):
 class TemperatureDataset:
     """Factory tying a :class:`TemperatureConfig` to a seed."""
 
-    def __init__(self, config: TemperatureConfig | None = None, seed: int = 0):
+    def __init__(self, config: TemperatureConfig | None = None, seed: int = 0) -> None:
         self.config = config if config is not None else TemperatureConfig()
         self.seed = seed
 

@@ -125,7 +125,7 @@ class TraceRecorder:
         trace = recorder.finish()
     """
 
-    def __init__(self, instance: DatasetInstance):
+    def __init__(self, instance: DatasetInstance) -> None:
         self._instance = instance
         self._attribute = instance.attribute
         self._initial_edges = instance.graph.edges()
@@ -196,7 +196,7 @@ class TraceRecorder:
 class ReplayInstance(DatasetInstance):
     """A :class:`DatasetInstance` driven by a recorded trace."""
 
-    def __init__(self, trace: Trace):
+    def __init__(self, trace: Trace) -> None:
         graph = OverlayGraph(trace.initial_edges, n_nodes=len(trace.initial_nodes))
         database = P2PDatabase(Schema((trace.attribute,)), graph.nodes())
         super().__init__(graph, database, trace.attribute, trace.n_steps)

@@ -23,7 +23,7 @@ import enum
 
 import numpy as np
 
-from repro.db.expression import Expression
+from repro.db.expression import Expression, Row
 from repro.db.predicate import Predicate
 from repro.db.relation import P2PDatabase
 from repro.errors import QueryError
@@ -88,7 +88,7 @@ def sample_contribution(
     op: AggregateOp,
     expression: Expression,
     predicate: Predicate | None,
-    row,
+    row: Row,
 ) -> tuple[float, float]:
     """Per-sample ``(y, indicator)`` pair for one tuple.
 

@@ -183,7 +183,7 @@ class _Parser:
     the first token the arithmetic grammar cannot use.
     """
 
-    def __init__(self, text: str, tokens: list[_Token] | None = None):
+    def __init__(self, text: str, tokens: list[_Token] | None = None) -> None:
         self._text = text
         self._tokens = tokens if tokens is not None else _tokenize(text)
         self._index = 0
@@ -283,7 +283,7 @@ class Expression:
     ['memory', 'storage']
     """
 
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         if not text or not text.strip():
             raise ExpressionError("empty expression")
         self._text = text

@@ -28,6 +28,7 @@ class, bounded by the nesting depth).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -44,7 +45,7 @@ class _PredicateNode:
     def evaluate(self, row: Row) -> bool:
         raise NotImplementedError
 
-    def evaluate_columns(self, columns) -> np.ndarray:
+    def evaluate_columns(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
         raise NotImplementedError
 
     def attributes(self) -> set[str]:
@@ -74,7 +75,7 @@ class _Comparison(_PredicateNode):
             return left >= right
         raise ExpressionError(f"unknown comparison {self.op!r}")
 
-    def evaluate_columns(self, columns) -> np.ndarray:
+    def evaluate_columns(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
         left = self.left.evaluate_columns(columns)
         right = self.right.evaluate_columns(columns)
         if self.op in ("=", "=="):
@@ -107,7 +108,7 @@ class _Logical(_PredicateNode):
             return self.left.evaluate(row) and self.right.evaluate(row)
         return self.left.evaluate(row) or self.right.evaluate(row)
 
-    def evaluate_columns(self, columns) -> np.ndarray:
+    def evaluate_columns(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
         left = self.left.evaluate_columns(columns)
         right = self.right.evaluate_columns(columns)
         return left & right if self.op == "AND" else left | right
@@ -126,7 +127,7 @@ class _Not(_PredicateNode):
     def evaluate(self, row: Row) -> bool:
         return not self.operand.evaluate(row)
 
-    def evaluate_columns(self, columns) -> np.ndarray:
+    def evaluate_columns(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
         return ~self.operand.evaluate_columns(columns)
 
     def attributes(self) -> set[str]:
@@ -137,7 +138,7 @@ class _Not(_PredicateNode):
 
 
 class _PredicateParser:
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         self._text = text
         self._tokens = _tokenize(text)
         self._index = 0
@@ -227,7 +228,7 @@ class Predicate:
     ['cpu', 'memory', 'storage']
     """
 
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         if not text or not text.strip():
             raise ExpressionError("empty predicate")
         self._text = text
@@ -246,7 +247,7 @@ class Predicate:
         """Truth value of the predicate for one row."""
         return bool(self._root.evaluate(row))
 
-    def evaluate_columns(self, columns) -> np.ndarray:
+    def evaluate_columns(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
         """Vectorized evaluation: a boolean array over the rows."""
         result = np.asarray(self._root.evaluate_columns(columns))
         if result.ndim == 0:

@@ -17,6 +17,7 @@ from typing import Iterable, Iterator, Mapping
 import numpy as np
 
 from repro.db.expression import Expression
+from repro.db.predicate import Predicate
 from repro.db.store import LocalStore
 from repro.errors import StoreError
 from repro.network.churn import ChurnEvent
@@ -43,7 +44,7 @@ class Schema:
                 f"{sorted(unknown)}; schema is {self.attributes}"
             )
 
-    def validate_predicate(self, predicate) -> None:
+    def validate_predicate(self, predicate: Predicate) -> None:
         """Raise when ``predicate`` references attributes not in the schema."""
         unknown = predicate.attributes - set(self.attributes)
         if unknown:
@@ -64,7 +65,7 @@ class P2PDatabase:
         Initial node ids; each gets an empty local store.
     """
 
-    def __init__(self, schema: Schema, nodes: Iterable[int] = ()):
+    def __init__(self, schema: Schema, nodes: Iterable[int] = ()) -> None:
         self._schema = schema
         self._stores: dict[int, LocalStore] = {}
         self._location: dict[int, int] = {}

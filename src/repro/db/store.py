@@ -34,7 +34,7 @@ class LocalStore:
         schema mismatch fails loudly at the write site.
     """
 
-    def __init__(self, attributes: tuple[str, ...]):
+    def __init__(self, attributes: tuple[str, ...]) -> None:
         if not attributes:
             raise StoreError("schema needs at least one attribute")
         if len(set(attributes)) != len(attributes):

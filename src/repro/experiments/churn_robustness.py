@@ -74,7 +74,9 @@ class ChurnRobustnessResult:
         )
 
 
-def _build_world(n_nodes: int, rng: np.random.Generator):
+def _build_world(
+    n_nodes: int, rng: np.random.Generator
+) -> tuple[OverlayGraph, P2PDatabase]:
     graph = OverlayGraph(power_law_topology(n_nodes, rng=rng), n_nodes=n_nodes)
     database = P2PDatabase(Schema(("v",)), graph.nodes())
     for node in graph.nodes():
@@ -83,7 +85,9 @@ def _build_world(n_nodes: int, rng: np.random.Generator):
     return graph, database
 
 
-def _populate_joined(database, nodes, rng):
+def _populate_joined(
+    database: P2PDatabase, nodes: list[int], rng: np.random.Generator
+) -> None:
     for node in nodes:
         for _ in range(int(rng.integers(1, 5))):
             database.insert(node, {"v": float(rng.normal(10, 2))})

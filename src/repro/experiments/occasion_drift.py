@@ -25,11 +25,16 @@ component of that growth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.experiments.report import format_table
 from repro.sampling.operator import SamplerConfig, SamplingOperator
+
+if TYPE_CHECKING:
+    from repro.db.relation import P2PDatabase
+    from repro.network.graph import OverlayGraph
 
 
 @dataclass
@@ -84,7 +89,9 @@ def detrended_estimate(times: np.ndarray, values: np.ndarray, at: float) -> floa
     return float(values.mean() + slope * (at - times.mean()))
 
 
-def _drifting_world(n_nodes: int, per_node: int, rng: np.random.Generator):
+def _drifting_world(
+    n_nodes: int, per_node: int, rng: np.random.Generator
+) -> tuple[OverlayGraph, P2PDatabase, list[int]]:
     """A world whose aggregate drifts *linearly* — the worst, and
     clearest, case for occasion-spanning sampling."""
     from repro.db.relation import P2PDatabase, Schema

@@ -28,7 +28,7 @@ from repro.network.topology import power_law_topology
 from repro.protocol.runtime import ProtocolConfig, ProtocolSampler
 from repro.sampling.metropolis import stationary_distribution
 from repro.sampling.mixing import total_variation
-from repro.sampling.weights import table_weights
+from repro.sampling.weights import WeightFunction, table_weights
 from repro.sim.engine import SimulationEngine
 
 
@@ -83,7 +83,7 @@ class ProtocolResult:
         )
 
 
-def _world(n_nodes: int, seed: int):
+def _world(n_nodes: int, seed: int) -> tuple[OverlayGraph, WeightFunction]:
     rng = np.random.default_rng(seed)
     graph = OverlayGraph(power_law_topology(n_nodes, rng=rng), n_nodes=n_nodes)
     weights = {

@@ -75,7 +75,7 @@ class ChurnProcess:
         config: ChurnConfig,
         rng: np.random.Generator,
         protected: set[int] | None = None,
-    ):
+    ) -> None:
         self._graph = graph
         self._config = config
         self._rng = rng

@@ -41,7 +41,7 @@ class OverlayGraph:
         refuses to run on a disconnected overlay).
     """
 
-    def __init__(self, edges: Iterable[Edge], n_nodes: int | None = None):
+    def __init__(self, edges: Iterable[Edge], n_nodes: int | None = None) -> None:
         self._adjacency: dict[int, list[int]] = {}
         self._neighbor_sets: dict[int, set[int]] = {}
         self._next_id = 0
@@ -139,21 +139,26 @@ class OverlayGraph:
         self,
         attach_to: Iterable[int] | None = None,
         n_links: int = 2,
-        rng: np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
     ) -> int:
         """Add a new node and return its id.
 
         ``attach_to`` names the bootstrap neighbors explicitly; otherwise
         ``n_links`` distinct live nodes are chosen uniformly with ``rng``
-        (mirroring a Gnutella-style bootstrap).
+        (mirroring a Gnutella-style bootstrap). ``rng`` may be a
+        ``Generator`` threaded by the caller (the churn process does this)
+        or an int seed; when omitted, the choice is seeded from the
+        current topology state so identical graph histories pick
+        identical bootstrap links on every rerun.
         """
         node = self._next_id
         self._ensure_node(node)
         if attach_to is None:
             candidates = [other for other in self._adjacency if other != node]
             if candidates:
-                if rng is None:
-                    rng = np.random.default_rng()
+                if not isinstance(rng, np.random.Generator):
+                    seed = (node, self._version) if rng is None else rng
+                    rng = np.random.default_rng(seed)
                 count = min(n_links, len(candidates))
                 picks = rng.choice(len(candidates), size=count, replace=False)
                 attach_to = [candidates[int(i)] for i in picks]

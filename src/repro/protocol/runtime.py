@@ -77,7 +77,7 @@ class ProtocolSampler:
         rng: np.random.Generator,
         ledger: MessageLedger | None = None,
         config: ProtocolConfig | None = None,
-    ):
+    ) -> None:
         if not graph.is_connected():
             raise TopologyError("the protocol needs a connected overlay")
         self._graph = graph

@@ -58,7 +58,7 @@ class ImportanceSampler:
         ledger: MessageLedger | None = None,
         walk_length: int = 80,
         laziness: float = 0.5,
-    ):
+    ) -> None:
         if walk_length < 1:
             raise SamplingError(f"walk_length must be >= 1, got {walk_length}")
         self._graph = graph

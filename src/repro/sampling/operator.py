@@ -138,7 +138,7 @@ class SamplingOperator:
         rng: np.random.Generator,
         ledger: MessageLedger | None = None,
         config: SamplerConfig | None = None,
-    ):
+    ) -> None:
         self._graph = graph
         self._rng = rng
         self._ledger = ledger
@@ -214,7 +214,7 @@ class SamplingOperator:
 
     def _empirical_mix_length(
         self,
-        matrix,  # scipy.sparse matrix
+        matrix: object,  # scipy.sparse matrix
         context: WalkContext,
         origin: int,
         gamma: float,

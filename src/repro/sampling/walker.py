@@ -100,7 +100,7 @@ class MetropolisWalker:
         rng: np.random.Generator,
         ledger: MessageLedger | None = None,
         laziness: float = 0.5,
-    ):
+    ) -> None:
         if not 0.0 <= laziness < 1.0:
             raise SamplingError(f"laziness must be in [0, 1), got {laziness}")
         self._context = context

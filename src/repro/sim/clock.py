@@ -13,7 +13,7 @@ from repro.errors import SimulationError
 class SimulationClock:
     """Monotone integer clock."""
 
-    def __init__(self, start: int = 0):
+    def __init__(self, start: int = 0) -> None:
         if start < 0:
             raise SimulationError(f"time must be non-negative, got {start}")
         self._now = start

@@ -56,7 +56,7 @@ class RecurringHandle:
 class SimulationEngine:
     """Deterministic single-threaded event loop over integer time."""
 
-    def __init__(self, clock: SimulationClock | None = None):
+    def __init__(self, clock: SimulationClock | None = None) -> None:
         self._clock = clock if clock is not None else SimulationClock()
         self._heap: list[Event] = []
         self._sequence = itertools.count()

@@ -16,7 +16,7 @@ import numpy as np
 class MetricSeries:
     """Append-only time series of float observations."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._times: list[int] = []
         self._values: list[float] = []

@@ -1,0 +1,378 @@
+"""Tests for the digest-lint static-analysis suite.
+
+Organization mirrors the rule catalog: one test class per rule with
+known-bad fixtures (must flag) and known-good fixtures (must pass), then
+engine-level behavior (noqa, scoping, select, CLI), and finally the
+meta-test asserting the repository's own ``src/repro`` is clean -- the
+invariant CI enforces.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.digest_lint import ALL_RULES, lint_paths, lint_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def codes(source: str, path: str) -> list[str]:
+    return [f.code for f in lint_source(textwrap.dedent(source), path)]
+
+
+# ----------------------------------------------------------------------
+# DGL001 -- unseeded randomness
+# ----------------------------------------------------------------------
+
+
+class TestUnseededRandomness:
+    PATH = "src/repro/sampling/snippet.py"
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            "from numpy.random import default_rng\nrng = default_rng()\n",
+            "import numpy as np\nnp.random.seed(7)\n",
+            "import numpy as np\nx = np.random.rand(3)\n",
+            "import numpy.random as npr\nx = npr.choice([1, 2])\n",
+            "import random\nx = random.random()\n",
+            "import random\nrandom.shuffle([1, 2, 3])\n",
+            "from random import randint\nx = randint(0, 9)\n",
+        ],
+    )
+    def test_flags_unseeded_and_global_rng(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == ["DGL001"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # explicit seeds and threaded generators are the convention
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+            "import numpy as np\ndef f(seed: int) -> object:\n    return np.random.default_rng(seed)\n",
+            "from numpy.random import default_rng\nrng = default_rng(0)\n",
+            "import numpy as np\nrng = np.random.Generator(np.random.PCG64(1))\n",
+            "import random\nrng = random.Random(7)\n",
+            # method calls on a threaded generator are not module-level calls
+            "def step(rng: object) -> float:\n    return rng.normal()\n",
+        ],
+    )
+    def test_allows_explicit_state(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == []
+
+    def test_fires_anywhere_in_src(self) -> None:
+        bad = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert codes(bad, "src/repro/experiments/snippet.py") == ["DGL001"]
+
+
+# ----------------------------------------------------------------------
+# DGL002 -- wall-clock reads in simulation code
+# ----------------------------------------------------------------------
+
+
+class TestWallClockInSimulation:
+    PATH = "src/repro/core/snippet.py"
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\nt = time.time()\n",
+            "import time\nt = time.perf_counter()\n",
+            "import time\nt = time.monotonic_ns()\n",
+            "from time import perf_counter\nt = perf_counter()\n",
+            "from datetime import datetime\nt = datetime.now()\n",
+            "import datetime\nt = datetime.datetime.utcnow()\n",
+            "import datetime\nt = datetime.date.today()\n",
+        ],
+    )
+    @pytest.mark.parametrize("scope", ["core", "sim", "sampling", "protocol"])
+    def test_flags_wall_clock_in_simulation_scopes(
+        self, snippet: str, scope: str
+    ) -> None:
+        assert codes(snippet, f"src/repro/{scope}/snippet.py") == ["DGL002"]
+
+    def test_out_of_scope_paths_are_exempt(self) -> None:
+        # experiments/ may time themselves; they are reporting, not protocol
+        snippet = "import time\nt = time.perf_counter()\n"
+        assert codes(snippet, "src/repro/experiments/snippet.py") == []
+
+    def test_sleep_is_not_a_clock_read(self) -> None:
+        assert codes("import time\ntime.sleep(0.1)\n", self.PATH) == []
+
+
+# ----------------------------------------------------------------------
+# DGL003 -- locality reach-through
+# ----------------------------------------------------------------------
+
+
+class TestLocalityReachThrough:
+    PATH = "src/repro/sampling/snippet.py"
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # classic telepathy: reading the graph's private adjacency
+            "def walk(graph: object) -> int:\n    return graph._adjacency[0]\n",
+            # reaching into a store owned by another node
+            "def peek(store: object) -> list:\n    return store._rows\n",
+            # chained receiver: self's operator is fine, *its* cache is not
+            "class W:\n    def f(self) -> list:\n        return self._op._cache\n",
+        ],
+    )
+    def test_flags_private_reach_through(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == ["DGL003"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "class W:\n    def f(self) -> list:\n        return self._cache\n",
+            "class W:\n    @classmethod\n    def f(cls) -> dict:\n        return cls._registry\n",
+            # module-private helpers from explicit imports are intra-package
+            "from repro.sampling import mixing\ng = mixing._spectral_gap\n",
+            # dunders are protocol, not private state
+            "def f(obj: object) -> type:\n    return obj.__class__\n",
+            # the public messaging API is exactly what the rule steers to
+            "def f(ledger: object, hops: int) -> None:\n    ledger.record_sample_return(hops)\n",
+        ],
+    )
+    def test_allows_local_and_public_access(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == []
+
+    def test_only_sampling_and_protocol_are_in_scope(self) -> None:
+        snippet = "def walk(graph: object) -> int:\n    return graph._adjacency[0]\n"
+        assert codes(snippet, "src/repro/network/snippet.py") == []
+        assert codes(snippet, "src/repro/protocol/snippet.py") == ["DGL003"]
+
+
+# ----------------------------------------------------------------------
+# DGL004 -- float equality
+# ----------------------------------------------------------------------
+
+
+class TestFloatEquality:
+    PATH = "src/repro/core/snippet.py"
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(x: float) -> bool:\n    return x == 0.5\n",
+            "def f(x: float) -> bool:\n    return x != 1.5\n",
+            "def f(x: float) -> bool:\n    return 0.95 == x\n",
+            "def f(a: float, b: float) -> bool:\n    return a < b == 2.5\n",
+        ],
+    )
+    def test_flags_non_sentinel_float_equality(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == ["DGL004"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(x: float) -> bool:\n    return x == 0.0\n",  # degenerate guard
+            "def f(x: float) -> bool:\n    return x == -0.0\n",
+            'def f(x: float) -> bool:\n    return x == float("inf")\n',
+            "def f(x: float) -> bool:\n    return x == 1\n",  # int comparison
+            "def f(x: float) -> bool:\n    return x < 0.5\n",  # ordering is fine
+            "import math\ndef f(x: float) -> bool:\n    return math.isclose(x, 0.5)\n",
+        ],
+    )
+    def test_allows_sentinels_and_ordering(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == []
+
+    def test_out_of_scope_paths_are_exempt(self) -> None:
+        snippet = "def f(x: float) -> bool:\n    return x == 0.5\n"
+        assert codes(snippet, "src/repro/db/snippet.py") == []
+
+
+# ----------------------------------------------------------------------
+# DGL005 -- missing annotations on public API
+# ----------------------------------------------------------------------
+
+
+class TestMissingAnnotations:
+    PATH = "src/repro/core/snippet.py"
+
+    @pytest.mark.parametrize(
+        "snippet,missing",
+        [
+            ("def f(x):\n    return x\n", "x, return"),
+            ("def f(x: int):\n    return x\n", "return"),
+            ("def f(x) -> int:\n    return x\n", "x"),
+            ("def f(*args, **kw) -> None:\n    pass\n", "*args, **kw"),
+            (
+                "class C:\n    def __init__(self, x: int):\n        self.x = x\n",
+                "return",
+            ),
+            ("class C:\n    def m(self, x) -> None:\n        pass\n", "x"),
+        ],
+    )
+    def test_flags_annotation_gaps(self, snippet: str, missing: str) -> None:
+        findings = lint_source(snippet, self.PATH)
+        assert [f.code for f in findings] == ["DGL005"]
+        assert findings[0].message.endswith(missing)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(x: int) -> int:\n    return x\n",
+            "def _helper(x):\n    return x\n",  # private: exempt
+            "class C:\n    def _m(self, x):\n        pass\n",
+            # closures are not public API
+            "def f() -> int:\n    def inner(x):\n        return x\n    return inner(1)\n",
+            "class C:\n    def m(self) -> None:\n        pass\n",
+        ],
+    )
+    def test_allows_annotated_private_and_nested(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == []
+
+    def test_only_repro_paths_are_in_scope(self) -> None:
+        assert codes("def f(x):\n    return x\n", "somewhere/else/snippet.py") == []
+
+
+# ----------------------------------------------------------------------
+# engine behavior: noqa, select, errors
+# ----------------------------------------------------------------------
+
+
+class TestEngine:
+    PATH = "src/repro/sampling/snippet.py"
+    BAD = "import numpy as np\nrng = np.random.default_rng()"
+
+    def test_noqa_with_matching_code_suppresses(self) -> None:
+        assert codes(f"{self.BAD}  # noqa: DGL001\n", self.PATH) == []
+
+    def test_bare_noqa_suppresses(self) -> None:
+        assert codes(f"{self.BAD}  # noqa\n", self.PATH) == []
+
+    def test_noqa_with_other_code_does_not_suppress(self) -> None:
+        assert codes(f"{self.BAD}  # noqa: DGL002\n", self.PATH) == ["DGL001"]
+
+    def test_noqa_code_list(self) -> None:
+        assert codes(f"{self.BAD}  # noqa: DGL004, DGL001\n", self.PATH) == []
+
+    def test_select_restricts_rules(self) -> None:
+        bad_both = (
+            "import numpy as np\nimport time\n"
+            "rng = np.random.default_rng()\nt = time.time()\n"
+        )
+        path = "src/repro/core/snippet.py"
+        all_codes = [f.code for f in lint_source(bad_both, path)]
+        assert all_codes == ["DGL001", "DGL002"]
+        only = [f.code for f in lint_source(bad_both, path, select=["DGL002"])]
+        assert only == ["DGL002"]
+
+    def test_unknown_select_raises(self) -> None:
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_source("x = 1\n", self.PATH, select=["DGL999"])
+
+    def test_syntax_error_reports_dgl000(self) -> None:
+        findings = lint_source("def broken(:\n", self.PATH)
+        assert [f.code for f in findings] == ["DGL000"]
+
+    def test_missing_path_raises(self, tmp_path: Path) -> None:
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "nope"])
+
+    def test_findings_are_sorted_and_renderable(self, tmp_path: Path) -> None:
+        scoped = tmp_path / "core"
+        scoped.mkdir()
+        bad = scoped / "bad.py"
+        bad.write_text(
+            "import time\n\n"
+            "def f(x: float) -> float:\n"
+            "    return time.time() if x == 0.5 else 0\n"
+        )
+        # tmp_path has no ``repro`` component, so DGL005 stays out of scope
+        findings = lint_paths([tmp_path])
+        assert findings == sorted(findings)
+        assert {f.code for f in findings} == {"DGL002", "DGL004"}
+        rendered = findings[0].render()
+        assert str(bad) in rendered and ":DGL" not in rendered
+
+    def test_rule_catalog_is_complete(self) -> None:
+        assert [r.code for r in ALL_RULES] == [
+            "DGL001",
+            "DGL002",
+            "DGL003",
+            "DGL004",
+            "DGL005",
+        ]
+        for rule in ALL_RULES:
+            assert rule.summary and rule.rationale
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess[str]:
+    return subprocess.run(
+        [sys.executable, "-m", "tools.digest_lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self) -> None:
+        result = run_cli("src/repro")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert result.stdout == ""
+
+    def test_each_rule_bad_fixture_exits_nonzero(self, tmp_path: Path) -> None:
+        fixtures = {
+            "DGL001": (
+                "sampling",
+                "import numpy as np\nrng = np.random.default_rng()\n",
+            ),
+            "DGL002": ("core", "import time\nt = time.time()\n"),
+            "DGL003": ("protocol", "def f(g):\n    return g._adjacency\n"),
+            "DGL004": ("core", "def f(x):\n    return x == 0.5\n"),
+            "DGL005": ("repro", "def f(x):\n    return x\n"),
+        }
+        for code, (scope, source) in fixtures.items():
+            scoped = tmp_path / code / scope
+            scoped.mkdir(parents=True)
+            bad = scoped / "bad.py"
+            bad.write_text(source)
+            result = run_cli(str(bad))
+            assert result.returncode == 1, (code, result.stdout, result.stderr)
+            assert code in result.stdout
+
+    def test_list_rules(self) -> None:
+        result = run_cli("--list-rules")
+        assert result.returncode == 0
+        for rule in ALL_RULES:
+            assert rule.code in result.stdout
+
+    def test_no_paths_is_usage_error(self) -> None:
+        assert run_cli().returncode == 2
+
+    def test_missing_path_is_usage_error(self) -> None:
+        result = run_cli("definitely/not/a/path")
+        assert result.returncode == 2
+        assert "error" in result.stderr
+
+
+# ----------------------------------------------------------------------
+# meta: the repository itself must be clean
+# ----------------------------------------------------------------------
+
+
+class TestRepositoryIsClean:
+    def test_src_repro_has_zero_findings(self) -> None:
+        findings = lint_paths([SRC_REPRO])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_tools_are_clean_too(self) -> None:
+        # the linter lints itself (DGL001/DGL002 scopes apply everywhere
+        # relevant; DGL005 does not, because tools/ is not repro/)
+        findings = lint_paths([REPO_ROOT / "tools"])
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,1 @@
+"""Developer tooling for the Digest reproduction (not shipped with the package)."""

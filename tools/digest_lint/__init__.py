@@ -1,0 +1,55 @@
+"""digest-lint: project-specific static analysis for the Digest reproduction.
+
+Digest's headline claim is statistical -- ``|X-hat - X| <= epsilon`` with
+probability at least ``p`` (PAPER.md Section IV-B) -- and every coverage
+number in RESULTS.md assumes the simulation that produced it is exactly
+reproducible and faithful to the paper's cost model. A single unseeded RNG,
+one wall-clock read inside simulated time, or one sampler that peeks at
+remote state without paying for the message invalidates those numbers
+silently: the tests still pass, the plots still render, the guarantee is
+gone.
+
+This package enforces those invariants at the AST level, with no runtime
+dependencies beyond the standard library:
+
+========  ==============================================================
+DGL001    no unseeded randomness (``np.random.default_rng()`` without a
+          seed, module-level ``np.random.*`` / ``random.*`` calls);
+          randomness must thread an explicit ``np.random.Generator``
+DGL002    no wall-clock reads in ``core/``, ``sim/``, ``sampling/``,
+          ``protocol/``; simulated time comes from ``sim/clock.py``
+DGL003    locality: ``sampling/`` and ``protocol/`` may not reach into
+          another object's private state (``other._attr``); remote node
+          state flows through the ``network/messaging.py`` cost model
+DGL004    no float ``==`` / ``!=`` against non-sentinel literals in
+          estimator/threshold code under ``core/``
+DGL005    public functions and methods in ``src/repro/`` must be fully
+          type-annotated
+========  ==============================================================
+
+Any finding can be suppressed on its line with ``# noqa: DGL00x`` (or a
+bare ``# noqa``); see docs/DEVELOPMENT.md for the rationale behind each
+rule and when suppression is acceptable.
+
+Programmatic entry points:
+
+>>> from tools.digest_lint import lint_source
+>>> bad = "import numpy as np" + chr(10) + "rng = np.random.default_rng()"
+>>> [f.code for f in lint_source(bad, "src/repro/sampling/bad.py")]
+['DGL001']
+"""
+
+from __future__ import annotations
+
+from tools.digest_lint.findings import Finding
+from tools.digest_lint.rules import ALL_RULES, Rule
+from tools.digest_lint.runner import lint_file, lint_paths, lint_source
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

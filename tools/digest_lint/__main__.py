@@ -1,0 +1,81 @@
+"""CLI: ``python -m tools.digest_lint [--select CODES] [--list-rules] paths``.
+
+Exit status: 0 clean, 1 findings reported, 2 usage error. Output is one
+``path:line:col: CODE message`` line per finding, ruff/flake8-style, so
+editors and CI annotators parse it without configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from tools.digest_lint.rules import ALL_RULES
+from tools.digest_lint.runner import lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.digest_lint",
+        description=(
+            "Project-specific static analysis enforcing the Digest "
+            "reproduction's simulation invariants (DGL001-DGL005). "
+            "Suppress a single line with '# noqa: DGL00x'."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories are walked for *.py)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code} [{rule.name}]")
+            print(f"    {rule.summary}")
+        return 0
+
+    if not options.paths:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: no paths given (try: python -m tools.digest_lint src/)",
+            file=sys.stderr,
+        )
+        return 2
+
+    select = options.select.split(",") if options.select else None
+    try:
+        findings = lint_paths(options.paths, select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        count = len(findings)
+        plural = "" if count == 1 else "s"
+        print(f"digest-lint: {count} finding{plural}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
