@@ -73,6 +73,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "related_work",
             "occasion_drift",
             "protocol",
+            "fault_tolerance",
         ),
     )
     _add_common(experiment)
@@ -168,6 +169,16 @@ def _run_experiment(args: argparse.Namespace) -> int:
         from repro.experiments import protocol_validation
 
         protocol_validation.main()
+    elif name == "fault_tolerance":
+        from repro.experiments import fault_tolerance
+
+        # scale < 1 maps to the reduced CI sweep, full grid otherwise
+        config = (
+            fault_tolerance.smoke_config()
+            if args.scale < 1.0
+            else fault_tolerance.FaultSweepConfig()
+        )
+        print(fault_tolerance.run(config, seed=args.seed).to_table())
     return 0
 
 

@@ -130,3 +130,21 @@ def achieved_epsilon(variance: float, confidence: float) -> float:
     if variance < 0:
         raise QueryError(f"variance must be >= 0, got {variance}")
     return confidence_quantile(confidence) * math.sqrt(variance)
+
+
+def achieved_confidence(epsilon: float, variance: float) -> float:
+    """Eq. 5 inverted for ``p``: the confidence actually achieved.
+
+    When fewer samples come back than Eq. 6 asked for, the promised
+    ``(epsilon, p)`` no longer holds; the honest statement at the same
+    ``epsilon`` is ``p = 2 Phi(epsilon / sqrt(var)) - 1`` with ``var`` the
+    achieved estimator variance. Returns 1.0 for a zero-variance
+    estimator.
+    """
+    if epsilon <= 0:
+        raise QueryError(f"epsilon must be > 0, got {epsilon}")
+    if variance < 0:
+        raise QueryError(f"variance must be >= 0, got {variance}")
+    if variance == 0.0:
+        return 1.0
+    return float(2.0 * norm.cdf(epsilon / math.sqrt(variance)) - 1.0)

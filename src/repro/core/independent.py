@@ -17,6 +17,8 @@ from typing import Callable
 import numpy as np
 
 from repro.core.estimators import (
+    achieved_confidence,
+    achieved_epsilon,
     ratio_estimate,
     required_sample_size,
     sample_mean_and_variance,
@@ -97,8 +99,15 @@ class IndependentEvaluator:
         return self._config
 
     def _sample_values(self, n: int) -> tuple[np.ndarray, np.ndarray]:
-        """Draw ``n`` samples; returns ``(y, indicator)`` arrays."""
-        samples = self._operator.sample_tuples(self._database, n, self._origin)
+        """Draw up to ``n`` samples; returns ``(y, indicator)`` arrays.
+
+        Partial mode: under the failure model the overlay may lose walks,
+        so fewer than ``n`` values can come back. The evaluator degrades
+        (flagging the estimate) rather than aborting the query.
+        """
+        samples = self._operator.sample_tuples(
+            self._database, n, self._origin, allow_partial=True
+        )
         query = self._query
         pairs = [
             sample_contribution(query.op, query.expression, query.predicate, s.row)
@@ -121,30 +130,58 @@ class IndependentEvaluator:
         population = int(round(self._population_size_provider()))
         epsilon_mean = mean_error_budget(self._query.op, epsilon, population)
         if self._query.op is AggregateOp.AVG:
-            mean, variance, n = self._evaluate_ratio(epsilon_mean, confidence)
+            mean, variance, n, degraded = self._evaluate_ratio(
+                epsilon_mean, confidence
+            )
         else:
-            mean, variance, n = self._evaluate_mean(epsilon_mean, confidence)
+            mean, variance, n, degraded = self._evaluate_mean(
+                epsilon_mean, confidence
+            )
+        scale = scale_factor(self._query.op, population)
         return SnapshotEstimate(
             time=time,
             mean=mean,
-            aggregate=mean * scale_factor(self._query.op, population),
+            aggregate=mean * scale,
             variance=variance,
             n_total=n,
             n_fresh=n,
             n_retained=0,
             population_size=population,
+            degraded=degraded,
+            achieved_epsilon=(
+                achieved_epsilon(variance, confidence) * scale
+                if degraded
+                else None
+            ),
+            achieved_confidence=(
+                achieved_confidence(epsilon_mean, variance)
+                if degraded and epsilon_mean != float("inf")
+                else None
+            ),
         )
 
     def _evaluate_mean(
         self, epsilon_mean: float, confidence: float
-    ) -> tuple[float, float, int]:
-        """Sequential CLT sizing on the (masked) per-tuple values."""
+    ) -> tuple[float, float, int, bool]:
+        """Sequential CLT sizing on the (masked) per-tuple values.
+
+        Returns ``(mean, variance-of-mean, n, degraded)``. ``degraded``
+        means the overlay returned fewer samples than Eq. 6 required, so
+        the promised precision does not hold (the estimate itself is still
+        unbiased; only its interval widens).
+        """
         config = self._config
         values = self._sample_values(config.pilot_size)[0]
+        if values.size == 0:
+            raise QueryError(
+                "the overlay returned no samples at all; cannot estimate"
+            )
+        needed = int(values.size)
         for _ in range(config.max_rounds):
             _, variance = sample_mean_and_variance(values)
             sigma = max(float(np.sqrt(variance)), config.sigma_floor)
             if epsilon_mean == float("inf"):
+                needed = int(values.size)
                 break
             needed = required_sample_size(
                 sigma,
@@ -156,16 +193,28 @@ class IndependentEvaluator:
             if needed <= values.size:
                 break
             extra = self._sample_values(needed - values.size)[0]
+            if extra.size == 0:
+                break  # the overlay is delivering nothing; degrade
             values = np.concatenate([values, extra])
         mean, variance = sample_mean_and_variance(values)
-        return mean, variance / values.size, int(values.size)
+        degraded = values.size < needed
+        return mean, variance / values.size, int(values.size), degraded
 
     def _evaluate_ratio(
         self, epsilon_mean: float, confidence: float
-    ) -> tuple[float, float, int]:
-        """Sequential sizing of the ratio estimator (AVG, maybe filtered)."""
+    ) -> tuple[float, float, int, bool]:
+        """Sequential sizing of the ratio estimator (AVG, maybe filtered).
+
+        Returns ``(estimate, variance, n, degraded)``; ``degraded`` means
+        the final estimator variance still exceeds the ``(epsilon, p)``
+        variance target after all top-up rounds.
+        """
         config = self._config
         values, indicators = self._sample_values(config.pilot_size)
+        if values.size == 0:
+            raise QueryError(
+                "the overlay returned no samples at all; cannot estimate"
+            )
         estimate, variance = None, None
         for round_index in range(config.max_rounds + 1):
             try:
@@ -177,6 +226,8 @@ class IndependentEvaluator:
                 extra_values, extra_indicators = self._sample_values(
                     len(values)
                 )
+                if extra_values.size == 0:
+                    raise
                 values = np.concatenate([values, extra_values])
                 indicators = np.concatenate([indicators, extra_indicators])
                 continue
@@ -197,7 +248,12 @@ class IndependentEvaluator:
             extra_values, extra_indicators = self._sample_values(
                 needed - values.size
             )
+            if extra_values.size == 0:
+                break  # the overlay is delivering nothing; degrade
             values = np.concatenate([values, extra_values])
             indicators = np.concatenate([indicators, extra_indicators])
         assert estimate is not None and variance is not None
-        return estimate, variance, int(values.size)
+        degraded = epsilon_mean != float("inf") and variance > variance_target(
+            epsilon_mean, confidence
+        )
+        return estimate, variance, int(values.size), degraded

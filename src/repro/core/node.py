@@ -66,13 +66,14 @@ class SharedSampleSource:
         n: int,
         origin: int,
         max_retries: int = 8,
+        allow_partial: bool = False,
     ) -> list[TupleSample]:
         served = [s for s in self._cache[:n] if s.tuple_id in database]
         shortfall = n - len(served)
         self.samples_served_from_cache += len(served)
         if shortfall > 0:
             fresh = self._operator.sample_tuples(
-                database, shortfall, origin, max_retries
+                database, shortfall, origin, max_retries, allow_partial
             )
             self._cache.extend(fresh)
             served = served + fresh

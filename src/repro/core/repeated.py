@@ -45,6 +45,8 @@ from typing import Callable
 import numpy as np
 
 from repro.core.estimators import (
+    achieved_confidence,
+    achieved_epsilon,
     sample_mean_and_variance,
     variance_target,
 )
@@ -289,9 +291,12 @@ class RepeatedEvaluator:
         return value
 
     def _draw_fresh(self, n: int) -> tuple[list[int], list[float]]:
-        if n == 0:
+        """Draw up to ``n`` fresh tuples (partial under the failure model)."""
+        if n <= 0:
             return [], []
-        samples = self._operator.sample_tuples(self._database, n, self._origin)
+        samples = self._operator.sample_tuples(
+            self._database, n, self._origin, allow_partial=True
+        )
         ids = [s.tuple_id for s in samples]
         values = [self._value_of(s.row) for s in samples]
         return ids, values
@@ -308,10 +313,16 @@ class RepeatedEvaluator:
 
         config = self._config
         ids, values = self._draw_fresh(config.pilot_size)
+        if not values:
+            raise QueryError(
+                "the overlay returned no samples at all; cannot estimate"
+            )
+        needed = len(values)
         for _ in range(config.max_rounds):
             _, variance = sample_mean_and_variance(np.array(values))
             sigma = max(math.sqrt(variance), config.sigma_floor)
             if epsilon_mean == float("inf"):
+                needed = len(values)
                 break
             needed = required_sample_size(
                 sigma,
@@ -323,10 +334,13 @@ class RepeatedEvaluator:
             if needed <= len(values):
                 break
             extra_ids, extra_values = self._draw_fresh(needed - len(values))
+            if not extra_values:
+                break  # the overlay is delivering nothing; degrade
             ids.extend(extra_ids)
             values.extend(extra_values)
         mean, variance = sample_mean_and_variance(np.array(values))
         n = len(values)
+        degraded = n < needed
         self.last_revision = None
         self._state = _OccasionState(
             tuple_ids=ids,
@@ -336,15 +350,27 @@ class RepeatedEvaluator:
             sigma2=variance,
             rho=None,
         )
+        scale = scale_factor(self._query.op, population)
         return SnapshotEstimate(
             time=time,
             mean=mean,
-            aggregate=mean * scale_factor(self._query.op, population),
+            aggregate=mean * scale,
             variance=variance / n,
             n_total=n,
             n_fresh=n,
             n_retained=0,
             population_size=population,
+            degraded=degraded,
+            achieved_epsilon=(
+                achieved_epsilon(variance / n, confidence) * scale
+                if degraded
+                else None
+            ),
+            achieved_confidence=(
+                achieved_confidence(epsilon_mean, variance / n)
+                if degraded and epsilon_mean != float("inf")
+                else None
+            ),
         )
 
     def evaluate(
@@ -426,6 +452,8 @@ class RepeatedEvaluator:
             if extra <= 0:
                 break
             extra_ids, extra_values = self._draw_fresh(extra)
+            if not extra_values:
+                break  # the overlay is delivering nothing; degrade
             fresh_ids.extend(extra_ids)
             fresh_values_list.extend(extra_values)
             fresh_values = np.array(fresh_values_list, dtype=float)
@@ -463,15 +491,30 @@ class RepeatedEvaluator:
             sigma2=sigma2_new,
             rho=rho_measured if rho_measured is not None else state.rho,
         )
+        degraded = v_target != float("inf") and variance > v_target * (
+            1.0 + 1e-9
+        )
+        scale = scale_factor(self._query.op, population)
         return SnapshotEstimate(
             time=time,
             mean=estimate,
-            aggregate=estimate * scale_factor(self._query.op, population),
+            aggregate=estimate * scale,
             variance=variance,
             n_total=g + f,
             n_fresh=f,
             n_retained=g,
             population_size=population,
+            degraded=degraded,
+            achieved_epsilon=(
+                achieved_epsilon(variance, confidence) * scale
+                if degraded
+                else None
+            ),
+            achieved_confidence=(
+                achieved_confidence(epsilon_mean, variance)
+                if degraded and epsilon_mean != float("inf")
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

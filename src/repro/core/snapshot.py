@@ -23,6 +23,15 @@ class SnapshotEstimate:
     for SUM/COUNT). ``n_fresh`` counts samples drawn through the sampling
     operator this occasion; ``n_retained`` counts re-evaluated samples
     carried over from the previous occasion.
+
+    Degradation contract (failure model): when the overlay lost samples
+    and the evaluator could not reach the promised ``(epsilon, p)``, the
+    estimate is still returned but flagged ``degraded=True`` with
+    ``achieved_epsilon`` (half-width actually attained at the promised
+    confidence) and ``achieved_confidence`` (confidence actually attained
+    at the promised epsilon) filled in — the honest re-statement of Eq. 5
+    for the samples that made it back. Both are ``None`` on non-degraded
+    estimates.
     """
 
     time: int
@@ -33,6 +42,9 @@ class SnapshotEstimate:
     n_fresh: int
     n_retained: int
     population_size: int
+    degraded: bool = False
+    achieved_epsilon: float | None = None
+    achieved_confidence: float | None = None
 
     def half_width(self, confidence: float) -> float:
         """Achieved confidence-interval half width for the *mean* estimate."""

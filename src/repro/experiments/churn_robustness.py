@@ -127,13 +127,10 @@ def run(
             event = churn.step()
             database.handle_churn(event)
             _populate_joined(database, event.joined, rng)
-            pool_before = [
-                node for node in operator._pool_nodes if node in graph
-            ]
+            pool = operator.pool_nodes
+            pool_before = [node for node in pool if node in graph]
             survivals.append(
-                len(pool_before) / max(1, len(operator._pool_nodes))
-                if operator._pool_nodes
-                else 1.0
+                len(pool_before) / len(pool) if pool else 1.0
             )
             weight = content_size_weights(database)
             node_ids, target = stationary_distribution(graph, weight)

@@ -10,11 +10,20 @@ package provides:
 * :mod:`repro.network.graph` — a mutable overlay graph supporting joins,
   leaves and rewiring while keeping the graph connected.
 * :mod:`repro.network.churn` — session-based churn processes.
+* :mod:`repro.network.faults` — the failure model: seeded message loss,
+  crashes, link failures and latency jitter, plus the fault audit log.
 * :mod:`repro.network.messaging` — hop-level message accounting, the cost
   unit of every figure in the paper.
 """
 
 from repro.network.churn import ChurnConfig, ChurnProcess
+from repro.network.faults import (
+    CrashProcess,
+    FaultConfig,
+    FaultEvent,
+    FaultLog,
+    FaultPlan,
+)
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
 from repro.network.topology import (
@@ -31,6 +40,11 @@ from repro.network.topology import (
 __all__ = [
     "ChurnConfig",
     "ChurnProcess",
+    "CrashProcess",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultLog",
+    "FaultPlan",
     "MessageLedger",
     "OverlayGraph",
     "augmented_mesh_topology",

@@ -105,6 +105,12 @@ class ChurnProcess:
                     if draw < config.leave_probability
                 ]
                 headroom = len(self._graph) - config.min_nodes
+                if 0 <= headroom < len(leavers):
+                    # the min_nodes cap truncates the leaver list; shuffle
+                    # (seeded) first so survival is not biased toward the
+                    # high node ids that sort to the back of the candidates
+                    order = self._rng.permutation(len(leavers))
+                    leavers = [leavers[int(i)] for i in order]
                 for node in leavers[: max(0, headroom)]:
                     self._graph.leave(node, rewire=config.rewire)
                     event.left.append(node)

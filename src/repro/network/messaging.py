@@ -34,6 +34,12 @@ class MessageLedger:
         Messages spent returning a sample to the originating node.
     pushes:
         Tuple values pushed to the querying node by push-based baselines.
+    retries:
+        All traffic (walk forwards and return hops) of retried walk
+        attempts under the failure model. Kept out of ``walk_steps`` /
+        ``sample_returns`` so fault-tolerance overhead is visible and
+        first-attempt cost figures stay comparable with the fault-free
+        experiments.
     control:
         Everything else (filter reallocations, query dissemination, ...).
     """
@@ -41,6 +47,7 @@ class MessageLedger:
     walk_steps: int = 0
     sample_returns: int = 0
     pushes: int = 0
+    retries: int = 0
     control: int = 0
     _by_label: dict[str, int] = field(default_factory=dict)
 
@@ -56,6 +63,10 @@ class MessageLedger:
         self._check(hops)
         self.pushes += hops
 
+    def record_retry(self, count: int) -> None:
+        self._check(count)
+        self.retries += count
+
     def record_control(self, count: int, label: str = "control") -> None:
         self._check(count)
         self.control += count
@@ -64,7 +75,13 @@ class MessageLedger:
     @property
     def total(self) -> int:
         """All messages across categories."""
-        return self.walk_steps + self.sample_returns + self.pushes + self.control
+        return (
+            self.walk_steps
+            + self.sample_returns
+            + self.pushes
+            + self.retries
+            + self.control
+        )
 
     def breakdown(self) -> dict[str, int]:
         """Per-category message counts (labels folded into ``control``)."""
@@ -72,6 +89,7 @@ class MessageLedger:
             "walk_steps": self.walk_steps,
             "sample_returns": self.sample_returns,
             "pushes": self.pushes,
+            "retries": self.retries,
             "control": self.control,
         }
         result.update({f"control:{k}": v for k, v in self._by_label.items()})
@@ -82,6 +100,7 @@ class MessageLedger:
         self.walk_steps += other.walk_steps
         self.sample_returns += other.sample_returns
         self.pushes += other.pushes
+        self.retries += other.retries
         self.control += other.control
         for label, count in other._by_label.items():
             self._by_label[label] = self._by_label.get(label, 0) + count
@@ -90,6 +109,7 @@ class MessageLedger:
         self.walk_steps = 0
         self.sample_returns = 0
         self.pushes = 0
+        self.retries = 0
         self.control = 0
         self._by_label.clear()
 

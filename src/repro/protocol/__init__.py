@@ -20,6 +20,11 @@ a scheduled delivery. It exists to validate that
      the sender evaluates acceptance locally and rejected proposals cost
      nothing; the advertisement traffic is the price.
 
+The runtime also carries the failure model: inject a
+:class:`~repro.network.faults.FaultPlan` for lossy links and crashes, and
+a :class:`RetryPolicy` for origin-side walk supervision (timeouts with
+backoff, bounded retries). See :mod:`repro.experiments.fault_tolerance`.
+
 See :mod:`repro.experiments.protocol_validation` for the measurements.
 """
 
@@ -28,12 +33,19 @@ from repro.protocol.messages import (
     WalkToken,
     WeightAdvertisement,
 )
-from repro.protocol.runtime import ProtocolConfig, ProtocolSampler
+from repro.protocol.runtime import (
+    ProtocolConfig,
+    ProtocolSampler,
+    RetryPolicy,
+    WalkStats,
+)
 
 __all__ = [
     "ProtocolConfig",
     "ProtocolSampler",
+    "RetryPolicy",
     "SampleReturn",
+    "WalkStats",
     "WalkToken",
     "WeightAdvertisement",
 ]

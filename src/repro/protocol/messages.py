@@ -2,7 +2,9 @@
 
 Every message is an immutable record delivered by the runtime after its
 hop latency; handlers run at the *receiving* node with only that node's
-local state in scope.
+local state in scope. Messages carry the ``attempt`` number of the walk
+they belong to so the origin-side supervisor can discard deliveries from
+attempts it has already timed out and superseded.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ class WalkToken:
     sender: int
     sender_weight: float
     sender_degree: int
+    attempt: int = 1
 
 
 @dataclass(frozen=True)
@@ -35,19 +38,24 @@ class BounceBack:
     walker_id: int
     origin: int
     steps_remaining: int
+    attempt: int = 1
 
 
 @dataclass(frozen=True)
 class SampleReturn:
     """A finished walk reporting its final position back to the origin.
 
-    Routed along the shortest overlay path; each hop is one message.
+    ``at_node`` is the node currently holding the message. Each hop the
+    holder re-resolves the shortest path toward the origin against the
+    *live* topology (rather than trusting a hop count precomputed when the
+    walk ended), so returns survive crashes and rewiring along the way.
     """
 
     walker_id: int
     origin: int
     sampled_node: int
-    hops_remaining: int
+    at_node: int
+    attempt: int = 1
 
 
 @dataclass(frozen=True)

@@ -8,25 +8,47 @@ origin. All messages are tallied on a :class:`MessageLedger` with the
 same categories the abstract model uses, so costs are directly
 comparable.
 
+Failure model
+-------------
+The overlay is *unreliable*: an optional :class:`FaultPlan` injects
+per-hop message loss, delivery-latency jitter, and (via
+:class:`~repro.network.faults.CrashProcess`, scheduled by the caller)
+mid-walk node crashes. The runtime degrades instead of crashing:
+
+* handlers never let an exception escape a scheduled delivery — every
+  failure (lost message, crashed receiver, broken return path, isolated
+  node) becomes a recorded :class:`~repro.network.faults.FaultEvent` on
+  ``fault_log`` (digest-lint DGL006 enforces this statically);
+* an origin-side supervisor arms a timeout per walk attempt
+  (:class:`RetryPolicy`); attempts that die are retried with backoff, and
+  all retry traffic lands in the ledger's ``retries`` category so
+  first-attempt cost figures stay comparable;
+* return routing re-resolves the shortest path toward the origin at every
+  hop against the live topology, so a crash along the precomputed path
+  reroutes instead of raising.
+
 Locality discipline: handlers may read only (a) the receiving node's own
 weight/degree/neighbor list and (b) the message contents. The one
-exception is shortest-path return routing, which uses precomputed hop
-distances as a stand-in for the origin-rooted routing state a real
-deployment would piggyback on the walk.
+exception is shortest-path return routing, which uses origin-rooted hop
+distances as a stand-in for the routing state a real deployment would
+piggyback on the walk.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable
 
 import numpy as np
 
 from repro.errors import SamplingError, TopologyError
+from repro.network.churn import ChurnEvent
+from repro.network.faults import FaultLog, FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
 from repro.protocol.messages import SampleReturn, WalkToken
 from repro.sampling.weights import WeightFunction
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import Event, SimulationEngine
 
 VARIANTS = ("bounce", "cached")
 
@@ -59,15 +81,93 @@ class ProtocolConfig:
             )
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Origin-side walk supervision.
+
+    A walk attempt that has not completed ``timeout`` ticks after launch
+    is declared lost and relaunched, up to ``max_retries`` retries; each
+    successive attempt's timeout is scaled by ``backoff`` (lost walks on a
+    congested or jittery overlay need progressively more slack). The
+    origin needs no global knowledge for this — it supervises only its
+    own outstanding requests.
+    """
+
+    timeout: int
+    max_retries: int = 3
+    backoff: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.timeout < 1:
+            raise SamplingError(f"timeout must be >= 1, got {self.timeout}")
+        if self.max_retries < 0:
+            raise SamplingError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff < 1.0:
+            raise SamplingError(f"backoff must be >= 1.0, got {self.backoff}")
+
+    def timeout_for(self, attempt: int) -> int:
+        """Timeout (ticks) for the given 1-based attempt number."""
+        return max(1, int(round(self.timeout * self.backoff ** (attempt - 1))))
+
+
+@dataclass(frozen=True)
+class WalkStats:
+    """Supervision outcome summary across all walks of a sampler."""
+
+    launched: int
+    completed: int
+    failed: int
+    attempts: int
+    timeouts: int
+    retried_completions: int  # walks that completed on attempt >= 2
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of launched walks that eventually completed."""
+        return self.completed / self.launched if self.launched else 1.0
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of walks that timed out at least once but completed."""
+        troubled = self.retried_completions + self.failed
+        return self.retried_completions / troubled if troubled else 1.0
+
+
 @dataclass
 class _WalkOutcome:
     walker_id: int
     sampled_node: int
     completed_at: int
+    attempts: int = 1
+
+
+@dataclass
+class _WalkState:
+    """Origin-side supervision record for one walk."""
+
+    walker_id: int
+    origin: int
+    walk_length: int
+    attempt: int = 0
+    timeouts: int = 0
+    done: bool = False
+    failed: bool = False
+    timeout_event: Event | None = field(default=None, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.done or self.failed
 
 
 class ProtocolSampler:
-    """Distributed Metropolis sampling as a real message protocol."""
+    """Distributed Metropolis sampling as a real message protocol.
+
+    With ``faults`` and ``retry`` left at ``None`` the runtime behaves as
+    a perfectly reliable network: no losses, no jitter, no timeouts — and
+    bit-identical traffic to the pre-failure-model implementation.
+    """
 
     def __init__(
         self,
@@ -77,6 +177,8 @@ class ProtocolSampler:
         rng: np.random.Generator,
         ledger: MessageLedger | None = None,
         config: ProtocolConfig | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if not graph.is_connected():
             raise TopologyError("the protocol needs a connected overlay")
@@ -86,7 +188,14 @@ class ProtocolSampler:
         self._rng = rng
         self.ledger = ledger if ledger is not None else MessageLedger()
         self._config = config if config is not None else ProtocolConfig()
+        self._faults = faults
+        self._retry = retry
+        #: audit trail of everything that went wrong (shared with the
+        #: fault plan's log when one is injected, so crash/loss events and
+        #: protocol-observed failures interleave in one timeline)
+        self.fault_log: FaultLog = faults.log if faults is not None else FaultLog()
         self._outcomes: dict[int, _WalkOutcome] = {}
+        self._states: dict[int, _WalkState] = {}
         self._next_walker = 0
         self._cached_weights: dict[int, dict[int, float]] = {}
         self.advertisements_sent = 0
@@ -127,8 +236,45 @@ class ProtocolSampler:
         for neighbor in self._graph.neighbors(node):
             self._deliver_advertisement(neighbor, node, weight)
 
+    def handle_topology_change(
+        self,
+        joined: Iterable[int] = (),
+        left: Iterable[int] = (),
+    ) -> None:
+        """Refresh cached-variant advertisements after overlay changes.
+
+        Purges cache entries sourced from departed nodes, then repairs
+        every missing neighbor entry (joins, and the new survivor-to-
+        survivor links that leave-rewiring creates) with a paid
+        advertisement. The bounce variant is cache-free and ignores this.
+        """
+        if self._config.variant != "cached":
+            return
+        gone = set(left)
+        if gone:
+            for node in gone:
+                self._cached_weights.pop(node, None)
+            for cache in self._cached_weights.values():
+                for node in gone:
+                    cache.pop(node, None)
+        self._repair_advertisement_caches()
+
+    def handle_churn(self, event: ChurnEvent) -> None:
+        """Convenience: :meth:`handle_topology_change` from a churn event."""
+        self.handle_topology_change(joined=event.joined, left=event.left)
+
+    def _repair_advertisement_caches(self) -> None:
+        """Advertise across every live edge missing a cached weight."""
+        for node in self._graph.nodes():
+            cache = self._cached_weights.setdefault(node, {})
+            for neighbor in self._graph.neighbors(node):
+                if neighbor not in cache:
+                    self._deliver_advertisement(
+                        node, neighbor, self._weight(neighbor)
+                    )
+
     # ------------------------------------------------------------------
-    # walk initiation
+    # walk initiation and supervision
     # ------------------------------------------------------------------
 
     def start_walk(self, origin: int, walk_length: int) -> int:
@@ -139,56 +285,259 @@ class ProtocolSampler:
             raise SamplingError(f"walk_length must be >= 1, got {walk_length}")
         walker_id = self._next_walker
         self._next_walker += 1
-
-        def begin(time: int) -> None:
-            self._decide_step(walker_id, origin, origin, walk_length)
-
-        self._simulation.schedule_in(0, begin)
+        state = _WalkState(
+            walker_id=walker_id, origin=origin, walk_length=walk_length
+        )
+        self._states[walker_id] = state
+        self._launch_attempt(state)
         return walker_id
 
+    def _launch_attempt(self, state: _WalkState) -> None:
+        """Begin the next attempt of a walk: arm the timeout, inject token."""
+        state.attempt += 1
+        attempt = state.attempt
+        if self._retry is not None:
+            state.timeout_event = self._simulation.schedule_in(
+                self._retry.timeout_for(attempt),
+                lambda time: self._handle_timeout(state, attempt),
+            )
+
+        def begin(time: int) -> None:
+            if state.finished or attempt != state.attempt:
+                return
+            if state.origin not in self._graph:
+                self._fail_walk(state, "origin_departed")
+                return
+            self._handle_step(
+                state.walker_id,
+                state.origin,
+                state.origin,
+                state.walk_length,
+                attempt,
+            )
+
+        self._simulation.schedule_in(0, begin)
+
+    def _handle_timeout(self, state: _WalkState, attempt: int) -> None:
+        """Origin-side deadline: declare the attempt lost, retry or fail."""
+        if state.finished or attempt != state.attempt:
+            return  # superseded or already resolved; stale timer
+        state.timeouts += 1
+        self.fault_log.record(
+            self._simulation.now,
+            "walk_timeout",
+            walker_id=state.walker_id,
+            node=state.origin,
+            detail=f"attempt {attempt}",
+        )
+        if self._retry is None or state.attempt > self._retry.max_retries:
+            self._fail_walk(state, "retries_exhausted")
+            return
+        self._launch_attempt(state)
+
+    def _fail_walk(self, state: _WalkState, reason: str) -> None:
+        """Terminal failure: record it; the walk yields no sample."""
+        state.failed = True
+        if state.timeout_event is not None:
+            state.timeout_event.cancel()
+            state.timeout_event = None
+        self.fault_log.record(
+            self._simulation.now,
+            "walk_failed",
+            walker_id=state.walker_id,
+            detail=reason,
+        )
+
+    def _complete_walk(self, state: _WalkState, sampled_node: int) -> None:
+        """A sample made it back to the origin; release the supervisor."""
+        state.done = True
+        if state.timeout_event is not None:
+            state.timeout_event.cancel()
+            state.timeout_event = None
+        self._outcomes[state.walker_id] = _WalkOutcome(
+            walker_id=state.walker_id,
+            sampled_node=sampled_node,
+            completed_at=self._simulation.now,
+            attempts=state.attempt,
+        )
+
     def run_walks(
-        self, origin: int, n: int, walk_length: int
+        self,
+        origin: int,
+        n: int,
+        walk_length: int,
+        allow_partial: bool = False,
+        deadline: int | None = None,
     ) -> list[int]:
-        """Launch ``n`` walks, drain the simulator, return sampled nodes."""
+        """Launch ``n`` walks, drive the simulator, return sampled nodes.
+
+        Runs the event queue dry (or up to ``deadline`` ticks past the
+        current time when given). With ``allow_partial=False`` every walk
+        must produce a sample or :class:`SamplingError` is raised; with
+        ``allow_partial=True`` the achieved samples are returned and the
+        shortfall is visible in :attr:`walk_stats` and ``fault_log`` —
+        the caller degrades its precision honestly instead of aborting.
+        """
         walker_ids = [self.start_walk(origin, walk_length) for _ in range(n)]
-        self._simulation.run_all()
+        if deadline is None:
+            self._simulation.run_all()
+        else:
+            self._simulation.run_until(self._simulation.now + deadline)
+            for walker_id in walker_ids:
+                state = self._states[walker_id]
+                if not state.finished:
+                    self._fail_walk(state, "deadline_expired")
         missing = [w for w in walker_ids if w not in self._outcomes]
-        if missing:
-            raise SamplingError(f"walks {missing[:5]} never completed")
-        return [self._outcomes[w].sampled_node for w in walker_ids]
+        if missing and not allow_partial:
+            raise SamplingError(
+                f"{len(missing)} of {n} walks never completed "
+                f"(first missing: {missing[:5]}; faults: "
+                f"{self.fault_log.summary()}); pass allow_partial=True to "
+                f"degrade instead"
+            )
+        return [
+            self._outcomes[w].sampled_node
+            for w in walker_ids
+            if w in self._outcomes
+        ]
 
     def outcome(self, walker_id: int) -> _WalkOutcome | None:
         return self._outcomes.get(walker_id)
+
+    @property
+    def walk_stats(self) -> WalkStats:
+        """Aggregate supervision outcomes across all launched walks."""
+        states = self._states.values()
+        completed = sum(1 for s in states if s.done)
+        return WalkStats(
+            launched=len(self._states),
+            completed=completed,
+            failed=sum(1 for s in states if s.failed),
+            attempts=sum(s.attempt for s in states),
+            timeouts=sum(s.timeouts for s in states),
+            retried_completions=sum(
+                1 for s in states if s.done and s.attempt > 1
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # unreliable delivery
+    # ------------------------------------------------------------------
+
+    def _record_traffic(self, attempt: int, kind: str) -> None:
+        """Tally one message; retry-attempt traffic goes to ``retries``."""
+        if attempt > 1:
+            self.ledger.record_retry(1)
+        elif kind == "walk":
+            self.ledger.record_walk_steps(1)
+        else:
+            self.ledger.record_sample_return(1)
+
+    def _transmit(
+        self,
+        attempt: int,
+        kind: str,
+        to_node: int,
+        walker_id: int,
+        deliver: Callable[[], None],
+    ) -> None:
+        """Send one message: pay for it, maybe lose it, else deliver later.
+
+        The cost is recorded at send time — a message lost in transit was
+        still sent. Delivery runs ``deliver`` after the hop latency (plus
+        jitter under a fault plan) unless the link drops it or the
+        receiver has crashed by then; both outcomes become fault events,
+        never exceptions.
+        """
+        self._record_traffic(attempt, kind)
+        faults = self._faults
+        if faults is not None and faults.message_lost():
+            self.fault_log.record(
+                self._simulation.now,
+                "message_loss",
+                walker_id=walker_id,
+                node=to_node,
+            )
+            return
+        delay = (
+            faults.delivery_delay(self._config.hop_latency)
+            if faults is not None
+            else self._config.hop_latency
+        )
+
+        def handle_delivery(time: int) -> None:
+            if to_node not in self._graph:
+                self.fault_log.record(
+                    time, "crashed_receiver", walker_id=walker_id, node=to_node
+                )
+                return
+            deliver()
+
+        self._simulation.schedule_in(delay, handle_delivery)
+
+    def _current_state(self, walker_id: int, attempt: int) -> _WalkState | None:
+        """The walk's state iff this attempt is still the live one."""
+        state = self._states.get(walker_id)
+        if state is None or state.finished or attempt != state.attempt:
+            return None
+        return state
 
     # ------------------------------------------------------------------
     # per-node protocol logic
     # ------------------------------------------------------------------
 
-    def _decide_step(
-        self, walker_id: int, origin: int, node: int, steps_remaining: int
+    def _handle_step(
+        self,
+        walker_id: int,
+        origin: int,
+        node: int,
+        steps_remaining: int,
+        attempt: int,
     ) -> None:
         """The node holding the token decides one chain transition."""
+        if self._current_state(walker_id, attempt) is None:
+            return  # superseded attempt or finished walk: drop the token
+        if node not in self._graph:
+            self.fault_log.record(
+                self._simulation.now,
+                "node_departed",
+                walker_id=walker_id,
+                node=node,
+            )
+            return
         if steps_remaining <= 0:
-            self._begin_return(walker_id, origin, node)
+            self._begin_return(walker_id, origin, node, attempt)
             return
         config = self._config
         if config.laziness > 0.0 and self._rng.random() < config.laziness:
             # lazy self-loop: burns a tick, sends nothing
             self._simulation.schedule_in(
                 config.hop_latency,
-                lambda t: self._decide_step(
-                    walker_id, origin, node, steps_remaining - 1
+                lambda t: self._handle_step(
+                    walker_id, origin, node, steps_remaining - 1, attempt
                 ),
             )
             return
         neighbors = self._graph.neighbors(node)
         if not neighbors:
-            raise TopologyError(f"node {node} became isolated mid-walk")
+            # crashes/link failures isolated the token's host; the walk
+            # dies here and the origin-side timeout recovers it
+            self.fault_log.record(
+                self._simulation.now,
+                "isolated_node",
+                walker_id=walker_id,
+                node=node,
+            )
+            return
         target = neighbors[int(self._rng.integers(len(neighbors)))]
         if config.variant == "cached":
-            self._cached_step(walker_id, origin, node, target, steps_remaining)
+            self._cached_step(
+                walker_id, origin, node, target, steps_remaining, attempt
+            )
         else:
-            self._bounce_step(walker_id, origin, node, target, steps_remaining)
+            self._bounce_step(
+                walker_id, origin, node, target, steps_remaining, attempt
+            )
 
     def _acceptance(self, w_i: float, d_i: int, w_j: float, d_j: int) -> float:
         if w_i == 0.0:
@@ -202,14 +551,24 @@ class ProtocolSampler:
         node: int,
         target: int,
         steps_remaining: int,
+        attempt: int,
     ) -> None:
         """Cached variant: decide locally; only accepted moves send."""
         cached = self._cached_weights.get(node, {}).get(target)
         if cached is None:
-            raise SamplingError(
-                f"node {node} has no cached weight for neighbor {target}; "
-                "was notify_weight_change skipped after a topology change?"
+            # cache miss (a link appeared without an advertisement, e.g.
+            # an unannounced join or leave-rewiring): probe the neighbor
+            # on demand — one request + one reply — instead of dying
+            self.ledger.record_control(2, label="weight_probe")
+            self.fault_log.record(
+                self._simulation.now,
+                "advertisement_cache_miss",
+                walker_id=walker_id,
+                node=node,
+                detail=f"probed neighbor {target}",
             )
+            cached = self._weight(target)
+            self._cached_weights.setdefault(node, {})[target] = cached
         accept = self._acceptance(
             self._weight(node),
             self._graph.degree(node),
@@ -224,14 +583,15 @@ class ProtocolSampler:
                 sender=node,
                 sender_weight=self._weight(node),
                 sender_degree=self._graph.degree(node),
+                attempt=attempt,
             )
             self._send_token(token, target)
         else:
             # rejected proposal: no message at all in this variant
             self._simulation.schedule_in(
                 self._config.hop_latency,
-                lambda t: self._decide_step(
-                    walker_id, origin, node, steps_remaining - 1
+                lambda t: self._handle_step(
+                    walker_id, origin, node, steps_remaining - 1, attempt
                 ),
             )
 
@@ -242,6 +602,7 @@ class ProtocolSampler:
         node: int,
         target: int,
         steps_remaining: int,
+        attempt: int,
     ) -> None:
         """Bounce variant: forward optimistically; receiver may bounce."""
         token = WalkToken(
@@ -251,26 +612,31 @@ class ProtocolSampler:
             sender=node,
             sender_weight=self._weight(node),
             sender_degree=self._graph.degree(node),
+            attempt=attempt,
         )
         self._send_token(token, target, evaluate_at_receiver=True)
 
     def _send_token(
         self, token: WalkToken, to_node: int, evaluate_at_receiver: bool = False
     ) -> None:
-        self.ledger.record_walk_steps(1)
-
-        def deliver(time: int) -> None:
+        def deliver() -> None:
             if evaluate_at_receiver:
                 self._receive_optimistic_token(token, to_node)
             else:
-                self._decide_step(
-                    token.walker_id, token.origin, to_node, token.steps_remaining
+                self._handle_step(
+                    token.walker_id,
+                    token.origin,
+                    to_node,
+                    token.steps_remaining,
+                    token.attempt,
                 )
 
-        self._simulation.schedule_in(self._config.hop_latency, deliver)
+        self._transmit(token.attempt, "walk", to_node, token.walker_id, deliver)
 
     def _receive_optimistic_token(self, token: WalkToken, node: int) -> None:
         """Bounce variant, receiver side: accept or bounce back."""
+        if self._current_state(token.walker_id, token.attempt) is None:
+            return
         accept = self._acceptance(
             token.sender_weight,
             token.sender_degree,
@@ -278,61 +644,91 @@ class ProtocolSampler:
             self._graph.degree(node),
         )
         if self._rng.random() < accept:
-            self._decide_step(
-                token.walker_id, token.origin, node, token.steps_remaining - 1
+            self._handle_step(
+                token.walker_id,
+                token.origin,
+                node,
+                token.steps_remaining - 1,
+                token.attempt,
             )
         else:
             self.bounces += 1
-            self.ledger.record_walk_steps(1)  # the bounce message
 
-            def bounce(time: int) -> None:
-                self._decide_step(
+            def deliver() -> None:
+                self._handle_step(
                     token.walker_id,
                     token.origin,
                     token.sender,
                     token.steps_remaining - 1,
+                    token.attempt,
                 )
 
-            self._simulation.schedule_in(self._config.hop_latency, bounce)
+            # the bounce message, subject to the same unreliable delivery
+            self._transmit(
+                token.attempt, "walk", token.sender, token.walker_id, deliver
+            )
 
     # ------------------------------------------------------------------
     # sample return routing
     # ------------------------------------------------------------------
 
-    def _begin_return(self, walker_id: int, origin: int, node: int) -> None:
-        distances = self._graph.hop_distances(origin)
-        hops = distances.get(node)
-        if hops is None:
-            raise TopologyError(
-                f"sampled node {node} cannot reach the origin {origin}"
-            )
-        self._route_return(
+    def _begin_return(
+        self, walker_id: int, origin: int, node: int, attempt: int
+    ) -> None:
+        self._handle_return(
             SampleReturn(
                 walker_id=walker_id,
                 origin=origin,
                 sampled_node=node,
-                hops_remaining=hops,
+                at_node=node,
+                attempt=attempt,
             )
         )
 
-    def _route_return(self, message: SampleReturn) -> None:
-        if message.hops_remaining <= 0:
-            self._outcomes[message.walker_id] = _WalkOutcome(
+    def _handle_return(self, message: SampleReturn) -> None:
+        """Route one return hop toward the origin on the live topology.
+
+        The holder re-resolves the next hop from fresh origin-rooted hop
+        distances every time, so the route adapts to crashes and
+        rewiring; a holder the origin can no longer reach records a
+        ``return_path_broken`` fault and lets the origin's timeout retry
+        the walk.
+        """
+        state = self._current_state(message.walker_id, message.attempt)
+        if state is None:
+            return
+        if message.at_node == message.origin:
+            self._complete_walk(state, message.sampled_node)
+            return
+        if message.origin not in self._graph or message.at_node not in self._graph:
+            self.fault_log.record(
+                self._simulation.now,
+                "return_path_broken",
                 walker_id=message.walker_id,
-                sampled_node=message.sampled_node,
-                completed_at=self._simulation.now,
+                node=message.at_node,
             )
             return
-        self.ledger.record_sample_return(1)
-
-        def deliver(time: int) -> None:
-            self._route_return(
-                SampleReturn(
-                    walker_id=message.walker_id,
-                    origin=message.origin,
-                    sampled_node=message.sampled_node,
-                    hops_remaining=message.hops_remaining - 1,
-                )
+        distances = self._graph.hop_distances(message.origin)
+        my_distance = distances.get(message.at_node)
+        next_hop: int | None = None
+        if my_distance is not None:
+            for neighbor in self._graph.neighbors(message.at_node):
+                if distances.get(neighbor) == my_distance - 1:
+                    next_hop = neighbor
+                    break
+        if next_hop is None:
+            self.fault_log.record(
+                self._simulation.now,
+                "return_path_broken",
+                walker_id=message.walker_id,
+                node=message.at_node,
             )
+            return
+        forwarded = replace(message, at_node=next_hop)
 
-        self._simulation.schedule_in(self._config.hop_latency, deliver)
+        def deliver() -> None:
+            self._handle_return(forwarded)
+
+        self._transmit(
+            message.attempt, "return", next_hop, message.walker_id, deliver
+        )

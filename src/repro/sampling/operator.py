@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.db.relation import P2PDatabase
 from repro.errors import SamplingError
+from repro.network.faults import FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
 from repro.sampling import mixing
@@ -130,6 +131,13 @@ class SamplingOperator:
         recorded on it.
     config:
         See :class:`SamplerConfig`.
+    faults:
+        Optional :class:`~repro.network.faults.FaultPlan`. The abstract
+        sampler executes walks in batch, so faults act at walk
+        granularity: a walk whose chain-plus-return message count loses
+        any hop (probability ``1 - (1 - loss)**hops``) delivers no
+        sample. Losses are recorded on the plan's log; callers see the
+        shortfall via partial results, never an exception.
     """
 
     def __init__(
@@ -138,11 +146,13 @@ class SamplingOperator:
         rng: np.random.Generator,
         ledger: MessageLedger | None = None,
         config: SamplerConfig | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self._graph = graph
         self._rng = rng
         self._ledger = ledger
         self._config = config if config is not None else SamplerConfig()
+        self._faults = faults
         self._spectral = _SpectralCache()
         self._pool_nodes: list[int] = []  # continued-walk positions (node ids)
         self.samples_drawn = 0
@@ -151,6 +161,11 @@ class SamplingOperator:
     @property
     def config(self) -> SamplerConfig:
         return self._config
+
+    @property
+    def pool_nodes(self) -> list[int]:
+        """Current continued-walk agent positions (copy, node ids)."""
+        return list(self._pool_nodes)
 
     # ------------------------------------------------------------------
     # walk-length policy
@@ -283,6 +298,7 @@ class SamplingOperator:
         n_fresh = n - len(continued)
 
         final_positions: list[int] = []
+        walk_steps: list[int] = []
         if continued:
             starts = np.array(
                 [context.compact_index(node) for node in continued], dtype=np.int64
@@ -296,6 +312,7 @@ class SamplingOperator:
                 config.laziness,
             )
             final_positions.extend(int(context.node_ids[e]) for e in ends)
+            walk_steps.extend([reset_length] * len(continued))
         if n_fresh > 0:
             starts = np.full(
                 n_fresh, context.compact_index(origin), dtype=np.int64
@@ -309,16 +326,30 @@ class SamplingOperator:
                 config.laziness,
             )
             final_positions.extend(int(context.node_ids[e]) for e in ends)
+            walk_steps.extend([mix_length] * n_fresh)
             self.walks_started += n_fresh
 
         if config.continued_walks:
+            # pool positions survive even if the *return* message is lost:
+            # the agent itself still sits at its final node
             self._pool_nodes = list(final_positions)
-        if self._ledger is not None:
+        distances: dict[int, int] | None = None
+        if self._ledger is not None or self._faults is not None:
             distances = self._graph.hop_distances(origin)
-            for node in final_positions:
-                self._ledger.record_sample_return(distances.get(node, 0))
-        self.samples_drawn += len(final_positions)
-        return final_positions
+        delivered: list[int] = []
+        for node, steps in zip(final_positions, walk_steps):
+            hops_home = distances.get(node, 0) if distances is not None else 0
+            if self._ledger is not None:
+                # the messages were sent whether or not any was lost
+                self._ledger.record_sample_return(hops_home)
+            if self._faults is not None and self._faults.walk_lost(
+                steps + hops_home
+            ):
+                self._faults.record(-1, "walk_lost", node=node)
+                continue
+            delivered.append(node)
+        self.samples_drawn += len(delivered)
+        return delivered
 
     # ------------------------------------------------------------------
     # tuple sampling
@@ -330,13 +361,17 @@ class SamplingOperator:
         n: int,
         origin: int,
         max_retries: int = 8,
+        allow_partial: bool = False,
     ) -> list[TupleSample]:
         """Two-stage sampling: ``n`` uniformly random tuples from ``R``.
 
         Stage one samples nodes with ``w_v = m_v``; stage two draws a
         uniform local tuple at each sampled node. Empty nodes have zero
         weight and are sampled only through numerical noise of the walk;
-        any such miss is retried (up to ``max_retries`` rounds).
+        any such miss (and any walk lost to the fault plan) is retried, up
+        to ``max_retries`` rounds. With ``allow_partial=True`` a remaining
+        shortfall returns the tuples actually drawn — the evaluator
+        degrades its precision — instead of raising.
         """
         if database.n_tuples == 0:
             raise SamplingError("cannot sample tuples from an empty relation")
@@ -356,6 +391,14 @@ class SamplingOperator:
                 )
             need = n - len(samples)
         if need > 0:
+            if allow_partial:
+                if self._faults is not None:
+                    self._faults.record(
+                        -1,
+                        "sample_shortfall",
+                        detail=f"{len(samples)} of {n} after {max_retries} rounds",
+                    )
+                return samples
             raise SamplingError(
                 f"failed to draw {n} tuples after {max_retries} rounds "
                 f"({len(samples)} drawn); is the relation mostly empty?"

@@ -77,8 +77,8 @@ class SimulationEngine:
 
     @property
     def pending(self) -> int:
-        """Events still queued (including cancelled ones not yet popped)."""
-        return len(self._heap)
+        """Live events still queued (cancelled-but-unpopped ones excluded)."""
+        return sum(1 for event in self._heap if not event.cancelled)
 
     def schedule_at(self, time: int, action: Action, priority: int = 0) -> Event:
         """Schedule ``action(time)`` to run at absolute time ``time``."""
@@ -156,5 +156,6 @@ class SimulationEngine:
             executed += 1
             if executed >= max_events:
                 raise SimulationError(
-                    f"run_all exceeded {max_events} events; runaway schedule?"
+                    f"run_all exceeded {max_events} events at t={self._clock.now} "
+                    f"with {self.pending} still pending; runaway schedule?"
                 )

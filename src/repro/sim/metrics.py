@@ -70,12 +70,24 @@ class RunMetrics:
         that actually cost messages, Section VI-B2).
     samples_retained:
         Re-evaluated retained samples (negligible communication cost).
+    walks_retried:
+        Walk attempts beyond the first (failure-model supervision).
+    walks_failed:
+        Walks that exhausted their retry budget and delivered no sample.
+    faults_injected:
+        Fault events recorded during the run (losses, crashes, ...).
+    degraded_estimates:
+        Snapshot estimates returned with ``degraded=True``.
     """
 
     snapshot_queries: int = 0
     samples_total: int = 0
     samples_fresh: int = 0
     samples_retained: int = 0
+    walks_retried: int = 0
+    walks_failed: int = 0
+    faults_injected: int = 0
+    degraded_estimates: int = 0
     _series: dict[str, MetricSeries] = field(default_factory=dict)
 
     def series(self, name: str) -> MetricSeries:
@@ -98,3 +110,7 @@ class RunMetrics:
         self.samples_total += other.samples_total
         self.samples_fresh += other.samples_fresh
         self.samples_retained += other.samples_retained
+        self.walks_retried += other.walks_retried
+        self.walks_failed += other.walks_failed
+        self.faults_injected += other.faults_injected
+        self.degraded_estimates += other.degraded_estimates

@@ -117,3 +117,50 @@ class TestDynamics:
         for _ in range(50):
             process.step()
         assert 60 <= len(graph) <= 160
+
+
+class TestDepartureFairness:
+    """Regression: the min_nodes cap must not bias survival by node id.
+
+    Before the seeded shuffle, hitting the floor truncated the leaver list
+    in candidate (ascending node id) order, so the high ids always
+    survived a full-departure step.
+    """
+
+    def _survivors(self, seed):
+        graph = OverlayGraph(mesh_topology(16), n_nodes=16)
+        process = ChurnProcess(
+            graph,
+            ChurnConfig(leave_probability=1.0, min_nodes=8),
+            np.random.default_rng(seed),
+        )
+        process.step()
+        return frozenset(graph.nodes())
+
+    def test_truncated_departures_are_not_id_ordered(self):
+        # with the biased truncation every seed kept exactly {8..15}
+        biased = frozenset(range(8, 16))
+        survivor_sets = {self._survivors(seed) for seed in range(12)}
+        assert survivor_sets != {biased}
+        assert len(survivor_sets) > 1  # the shuffle actually varies
+
+    def test_truncated_departures_are_seed_deterministic(self):
+        assert self._survivors(3) == self._survivors(3)
+
+    def test_rng_stream_untouched_when_no_truncation(self):
+        """The shuffle only fires when the floor truncates, so existing
+        seeded experiments that never hit min_nodes are unperturbed."""
+        def run(min_nodes):
+            graph = OverlayGraph(mesh_topology(25), n_nodes=25)
+            process = ChurnProcess(
+                graph,
+                ChurnConfig(
+                    leave_probability=0.2, join_rate=2.0, min_nodes=min_nodes
+                ),
+                np.random.default_rng(5),
+            )
+            events = [process.step() for _ in range(6)]
+            return [(e.left, e.joined) for e in events]
+
+        # min_nodes low enough to never truncate: identical histories
+        assert run(2) == run(3)

@@ -121,3 +121,30 @@ class TestRunAll:
         engine.schedule_at(0, forever)
         with pytest.raises(SimulationError, match="runaway"):
             engine.run_all(max_events=100)
+
+
+class TestPendingAndDiagnostics:
+    def test_pending_excludes_cancelled_events(self, engine):
+        events = [engine.schedule_at(i + 1, lambda t: None) for i in range(5)]
+        assert engine.pending == 5
+        events[0].cancel()
+        events[3].cancel()
+        assert engine.pending == 3
+        engine.run_all()
+        assert engine.pending == 0
+
+    def test_pending_counts_timeout_style_supervision(self, engine):
+        """Typical supervisor pattern: arm a timeout, cancel on success."""
+        timeout = engine.schedule_at(100, lambda t: None)
+        engine.schedule_at(1, lambda t: timeout.cancel())
+        assert engine.pending == 2
+        engine.run_until(1)
+        assert engine.pending == 0  # the cancelled timeout is not live work
+
+    def test_runaway_error_reports_clock_and_pending(self, engine):
+        def forever(t):
+            engine.schedule_at(t + 1, forever)
+
+        engine.schedule_at(0, forever)
+        with pytest.raises(SimulationError, match=r"t=\d+ with \d+ still pending"):
+            engine.run_all(max_events=50)

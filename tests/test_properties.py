@@ -107,6 +107,43 @@ def test_property_graph_matches_reference_model(operations):
 
 
 # ----------------------------------------------------------------------
+# departures with rewiring never disconnect the overlay
+# ----------------------------------------------------------------------
+
+@given(
+    data=connected_graph_with_weights(),
+    departures=st.lists(st.integers(0, 11), max_size=8),
+    crash_seed=st.integers(0, 1_000),
+    crash_probability=st.floats(0.0, 0.5),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_rewire_preserves_connectivity(
+    data, departures, crash_seed, crash_probability
+):
+    from repro.network.faults import CrashProcess, FaultConfig, FaultPlan
+
+    edges, n, _ = data
+    graph = OverlayGraph(edges, n_nodes=n)
+    assert graph.is_connected()
+    # explicit departures with ring rewiring...
+    for pick in departures:
+        nodes = sorted(graph.nodes())
+        if len(nodes) <= 2:
+            break
+        graph.leave(nodes[pick % len(nodes)], rewire=True)
+        assert graph.is_connected()
+    # ...then randomized crash rounds on top of whatever is left
+    plan = FaultPlan(
+        FaultConfig(crash_probability=crash_probability, min_nodes=2),
+        rng=crash_seed,
+    )
+    crash = CrashProcess(graph, plan)
+    for time in range(4):
+        crash.step(time)
+        assert graph.is_connected()
+
+
+# ----------------------------------------------------------------------
 # allocation solver invariants
 # ----------------------------------------------------------------------
 

@@ -235,6 +235,99 @@ class TestMissingAnnotations:
 
 
 # ----------------------------------------------------------------------
+# DGL006 -- protocol handlers must not let exceptions escape a delivery
+# ----------------------------------------------------------------------
+
+
+class TestHandlerRaises:
+    PATH = "src/repro/protocol/snippet.py"
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # a raise inside a scheduled-delivery handler aborts the run
+            """\
+            class Sampler:
+                def _handle_step(self, message: object) -> None:
+                    if message is None:
+                        raise ValueError("bad message")
+            """,
+            """\
+            class Sampler:
+                def _receive_token(self, token: object) -> None:
+                    raise RuntimeError("unreachable holder")
+            """,
+            # nested defs are delivery closures even under a benign name
+            """\
+            class Sampler:
+                def transmit(self, node: int) -> None:
+                    def deliver(time: int) -> None:
+                        raise RuntimeError("boom")
+                    self.simulation.schedule_in(1, deliver)
+            """,
+            # module-level handler functions count too
+            """\
+            def _on_timeout(state: object) -> None:
+                raise TimeoutError(state)
+            """,
+        ],
+    )
+    def test_flags_raises_in_delivery_paths(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == ["DGL006"]
+
+    def test_each_raise_is_reported_once(self) -> None:
+        # a raise belongs to its innermost function only -- a handler
+        # containing a raising closure yields one finding, not two
+        snippet = """\
+        class Sampler:
+            def _handle_return(self, message: object) -> None:
+                def forward(time: int) -> None:
+                    raise RuntimeError("next hop gone")
+                self.simulation.schedule_in(1, forward)
+        """
+        assert codes(snippet, self.PATH) == ["DGL006"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # the degradation contract: record the fault and drop the message
+            """\
+            class Sampler:
+                def _handle_step(self, message: object) -> None:
+                    if message is None:
+                        self.fault_log.record(0, "message_loss")
+                        return
+            """,
+            # validation raises at the caller-facing API are legal
+            """\
+            class Sampler:
+                def start_walk(self, origin: int) -> None:
+                    if origin < 0:
+                        raise ValueError("bad origin")
+            """,
+            """\
+            class Sampler:
+                def run_walks(self, n: int) -> list:
+                    if n <= 0:
+                        raise ValueError("need at least one walk")
+                    return []
+            """,
+        ],
+    )
+    def test_allows_recording_and_api_validation(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == []
+
+    def test_only_protocol_is_in_scope(self) -> None:
+        snippet = """\
+        class Sampler:
+            def _handle_step(self, message: object) -> None:
+                raise ValueError("bad message")
+        """
+        assert codes(snippet, "src/repro/sampling/snippet.py") == []
+        assert codes(snippet, self.PATH) == ["DGL006"]
+
+
+# ----------------------------------------------------------------------
 # engine behavior: noqa, select, errors
 # ----------------------------------------------------------------------
 
@@ -301,6 +394,7 @@ class TestEngine:
             "DGL003",
             "DGL004",
             "DGL005",
+            "DGL006",
         ]
         for rule in ALL_RULES:
             assert rule.summary and rule.rationale
@@ -336,6 +430,10 @@ class TestCli:
             "DGL003": ("protocol", "def f(g):\n    return g._adjacency\n"),
             "DGL004": ("core", "def f(x):\n    return x == 0.5\n"),
             "DGL005": ("repro", "def f(x):\n    return x\n"),
+            "DGL006": (
+                "protocol",
+                "def _handle_x(m: object) -> None:\n    raise ValueError(m)\n",
+            ),
         }
         for code, (scope, source) in fixtures.items():
             scoped = tmp_path / code / scope

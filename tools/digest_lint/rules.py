@@ -413,6 +413,79 @@ class MissingAnnotations(Rule):
         return missing
 
 
+# ----------------------------------------------------------------------
+# DGL006 -- protocol handlers must not let exceptions escape a delivery
+# ----------------------------------------------------------------------
+
+#: naming convention for scheduled-delivery entry points in protocol/
+_HANDLER_PREFIXES = ("_handle", "_deliver", "_receive", "_on_")
+
+
+class HandlerRaises(Rule):
+    code = "DGL006"
+    name = "handler-raises"
+    summary = (
+        "protocol/ delivery handlers (_handle*/_deliver*/_receive*/_on_*) "
+        "and nested closures must not raise; convert failures to recorded "
+        "FaultEvents"
+    )
+    rationale = (
+        "A handler runs as a scheduled delivery inside the event loop; an "
+        "exception escaping it aborts the whole simulation on the first "
+        "lost message or crashed receiver, which is exactly the behavior "
+        "the failure model forbids. The degradation contract is: record a "
+        "FaultEvent on the fault log, drop the message, and let the "
+        "origin-side supervisor recover the walk. Validation raises belong "
+        "at the caller-facing API (start_walk, run_walks, __init__), never "
+        "inside a delivery. Nested defs are treated as delivery closures "
+        "(that is what they are handed to SimulationEngine for)."
+    )
+
+    def applies_to(self, path_parts: tuple[str, ...]) -> bool:
+        return "protocol" in path_parts
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        yield from self._scan(tree, path, nested=False)
+
+    def _scan(self, node: ast.AST, path: str, nested: bool) -> Iterator[Finding]:
+        """Visit every def, tracking whether we are inside a function."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                is_handler = child.name.startswith(_HANDLER_PREFIXES)
+                if nested or is_handler:
+                    kind = (
+                        f"handler {child.name!r}"
+                        if is_handler
+                        else f"delivery closure {child.name!r}"
+                    )
+                    for raise_node in self._direct_raises(child):
+                        yield self._finding(
+                            path,
+                            raise_node,
+                            f"raise inside {kind}; an exception escaping a "
+                            "scheduled delivery aborts the simulation -- "
+                            "record a FaultEvent on the fault log and drop "
+                            "the message instead",
+                        )
+                yield from self._scan(child, path, nested=True)
+            else:
+                yield from self._scan(child, path, nested=nested)
+
+    def _direct_raises(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[ast.Raise]:
+        """Raise statements in ``fn``'s own body (nested defs excluded --
+        each raise is attributed to its innermost enclosing function)."""
+        stack: list[ast.AST] = list(fn.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Raise):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
 #: Registry in code order; the runner and ``--list-rules`` both use it.
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -420,6 +493,7 @@ ALL_RULES: tuple[Rule, ...] = (
     LocalityReachThrough(),
     FloatEquality(),
     MissingAnnotations(),
+    HandlerRaises(),
 )
 
 RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}
