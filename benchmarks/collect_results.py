@@ -6,11 +6,18 @@ Usage::
     python benchmarks/collect_results.py     # writes RESULTS.md at repo root
 
 Sections are ordered to mirror EXPERIMENTS.md: paper artifacts first,
-then guarantee validation, then extensions and ablations.
+then guarantee validation, then extensions and ablations. Any JSONL
+telemetry trace saved under ``benchmarks/results/`` (e.g. by
+``python -m repro.experiments.fault_tolerance --trace-out ...``) is
+folded in as well: its per-category message attribution and replayed
+counters are written to ``benchmarks/results/trace_attribution.json``
+and summarized in a final RESULTS.md section (requires ``repro`` on the
+path, i.e. ``PYTHONPATH=src`` or an editable install).
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -107,6 +114,61 @@ def collect() -> str:
     return "\n".join(lines)
 
 
+def collect_trace_attribution() -> dict[str, dict[str, object]]:
+    """Trace-derived cost attribution for every saved JSONL trace.
+
+    Returns ``{}`` when there are no traces or the ``repro`` package is
+    not importable (the tables-only path must keep working standalone).
+    """
+    traces = sorted(RESULTS_DIR.glob("*.jsonl"))
+    if not traces:
+        return {}
+    try:
+        from repro.obs.analysis import (
+            counter_dict,
+            message_attribution,
+            run_metrics_from_trace,
+            walk_outcomes,
+        )
+        from repro.obs.export import import_trace
+    except ImportError:
+        print(
+            "repro not importable (set PYTHONPATH=src); skipping trace "
+            "attribution for: "
+            + ", ".join(path.name for path in traces),
+            file=sys.stderr,
+        )
+        return {}
+    folded: dict[str, dict[str, object]] = {}
+    for path in traces:
+        trace = import_trace(path)
+        folded[path.stem] = {
+            "meta": trace.meta,
+            "message_attribution": message_attribution(trace),
+            "counters": counter_dict(run_metrics_from_trace(trace)),
+            "walk_outcomes": walk_outcomes(trace),
+        }
+    return folded
+
+
+def render_attribution(folded: dict[str, dict[str, object]]) -> str:
+    lines = ["## Trace cost attribution", ""]
+    lines.append(
+        "Derived by replaying the saved JSONL traces "
+        "(`repro trace summarize` shows the same numbers); machine-readable "
+        "copy in `benchmarks/results/trace_attribution.json`."
+    )
+    lines.append("")
+    for name, entry in folded.items():
+        lines.append(f"### {name}")
+        lines.append("")
+        lines.append("```json")
+        lines.append(json.dumps(entry, indent=2, sort_keys=True))
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
 def main() -> int:
     if not RESULTS_DIR.exists():
         print(
@@ -115,7 +177,16 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
-    OUTPUT.write_text(collect())
+    output = collect()
+    folded = collect_trace_attribution()
+    if folded:
+        attribution_json = RESULTS_DIR / "trace_attribution.json"
+        attribution_json.write_text(
+            json.dumps(folded, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {attribution_json}")
+        output = output.rstrip("\n") + "\n\n" + render_attribution(folded)
+    OUTPUT.write_text(output)
     print(f"wrote {OUTPUT}")
     return 0
 

@@ -23,9 +23,12 @@ Also runnable as ``python -m repro``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
+
+from repro.obs.console import emit
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +110,31 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--epsilon", type=float, default=None)
     replay.add_argument("--confidence", type=float, default=0.95)
     replay.add_argument("--seed", type=int, default=0)
+
+    # telemetry-trace analysis (JSONL traces from repro.obs.export)
+    summarize = trace_commands.add_parser(
+        "summarize",
+        help="summarize a telemetry trace: attribution, latency, timelines",
+    )
+    summarize.add_argument("--input", required=True)
+    attribute = trace_commands.add_parser(
+        "attribute",
+        help="per-category message-cost attribution from a telemetry trace",
+    )
+    attribute.add_argument("--input", required=True)
+    attribute.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    flame = trace_commands.add_parser(
+        "flame", help="folded flamegraph stacks from a telemetry trace"
+    )
+    flame.add_argument("--input", required=True)
+    flame.add_argument(
+        "--weight",
+        choices=("time", "count"),
+        default="time",
+        help="stack weight: self sim-time (default) or span count",
+    )
     return parser
 
 
@@ -130,25 +158,25 @@ def _run_experiment(args: argparse.Namespace) -> int:
 
     name = args.name
     if name == "fig4a":
-        print(fig4a.run(dataset=args.dataset, scale=args.scale, seed=args.seed).to_table())
+        emit(fig4a.run(dataset=args.dataset, scale=args.scale, seed=args.seed).to_table())
     elif name == "fig4b":
         result = fig4b.run(dataset=args.dataset, scale=args.scale, seed=args.seed)
-        print(result.to_table())
-        print(f"average improvement factor I = {result.improvement_factor:.2f}")
+        emit(result.to_table())
+        emit(f"average improvement factor I = {result.improvement_factor:.2f}")
     elif name == "fig5a":
         result = fig5a.run(dataset=args.dataset, scale=args.scale, seed=args.seed)
-        print(result.to_table())
-        print(f"Digest vs naive = {result.digest_vs_naive:.2f}x")
+        emit(result.to_table())
+        emit(f"Digest vs naive = {result.digest_vs_naive:.2f}x")
     elif name == "fig5b":
-        print(fig5b.run(dataset=args.dataset, scale=max(args.scale, 0.25), seed=args.seed).to_table())
+        emit(fig5b.run(dataset=args.dataset, scale=max(args.scale, 0.25), seed=args.seed).to_table())
     elif name == "table1":
         for rho in (0.5, 0.85, 0.95):
-            print(table1.simulate(rho=rho, seed=args.seed).to_table())
-            print()
+            emit(table1.simulate(rho=rho, seed=args.seed).to_table())
+            emit()
     elif name == "table2":
-        print(table2.run(dataset=args.dataset, scale=args.scale, seed=args.seed).to_table())
+        emit(table2.run(dataset=args.dataset, scale=args.scale, seed=args.seed).to_table())
     elif name == "mixing":
-        print(mixing.run(seed=args.seed).to_table())
+        emit(mixing.run(seed=args.seed).to_table())
     elif name == "ablations":
         ablations.main()
     elif name == "forward":
@@ -178,7 +206,7 @@ def _run_experiment(args: argparse.Namespace) -> int:
             if args.scale < 1.0
             else fault_tolerance.FaultSweepConfig()
         )
-        print(fault_tolerance.run(config, seed=args.seed).to_table())
+        emit(fault_tolerance.run(config, seed=args.seed).to_table())
     return 0
 
 
@@ -210,7 +238,7 @@ def _run_query(args: argparse.Namespace) -> int:
         and query.op is AggregateOp.AVG
         and query.predicate is not None
     ):
-        print(
+        emit(
             "note: filtered AVG needs the ratio estimator; "
             "falling back to evaluator=independent"
         )
@@ -229,18 +257,18 @@ def _run_query(args: argparse.Namespace) -> int:
         rng=np.random.default_rng(args.seed + 1),
         config=EngineConfig(scheduler=args.scheduler, evaluator=evaluator),
     )
-    print(f"running: {continuous}")
-    print(f"workload: {args.dataset} (scale {args.scale}), {steps} steps\n")
+    emit(f"running: {continuous}")
+    emit(f"workload: {args.dataset} (scale {args.scale}), {steps} steps\n")
     for t in range(steps):
         instance.step(t)
         estimate = engine.step(t)
         if estimate is not None:
-            print(
+            emit(
                 f"t={t:4d}  estimate={estimate.aggregate:12.3f}  "
                 f"samples={estimate.n_total:4d} (fresh {estimate.n_fresh:4d})"
             )
     metrics = engine.metrics
-    print(
+    emit(
         f"\n{metrics.snapshot_queries} snapshot queries, "
         f"{metrics.samples_total} samples "
         f"({metrics.samples_fresh} fresh), {engine.ledger.total} messages"
@@ -248,7 +276,92 @@ def _run_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _summarize_trace(args: argparse.Namespace) -> int:
+    from repro.obs import analysis, import_trace
+
+    trace = import_trace(args.input)
+    emit(f"trace: {args.input}")
+    if trace.meta:
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(trace.meta.items()))
+        emit(f"meta: {meta}")
+    emit(f"{len(trace.spans)} spans, {len(trace.events)} loose events")
+
+    emit("\nmessage attribution:")
+    for category, count in analysis.message_attribution(trace).items():
+        emit(f"  {category:16s} {count:8d}")
+
+    outcomes = analysis.walk_outcomes(trace)
+    if outcomes:
+        emit("\nwalk outcomes:")
+        for outcome, count in outcomes.items():
+            emit(f"  {outcome:16s} {count:8d}")
+        histogram = analysis.walk_latency_histogram(trace)
+        if histogram.count:
+            emit(
+                f"\nwalk latency (sim ticks, {histogram.count} walks, "
+                f"mean {histogram.mean():.1f}):"
+            )
+            for label, count in zip(histogram.bucket_labels(), histogram.counts):
+                emit(f"  {label:12s} {count:8d}")
+
+    triggers = analysis.trigger_breakdown(trace)
+    if triggers:
+        emit("\nsnapshot-query triggers:")
+        for reason, count in triggers.items():
+            emit(f"  {reason:16s} {count:8d}")
+
+    degraded = analysis.degraded_timeline(trace)
+    emit(f"\ndegraded estimates: {len(degraded)}")
+    for span in degraded:
+        emit(f"  t={span.start}  {span.attrs.get('trigger', '?')}")
+
+    faults = analysis.fault_timeline(trace)
+    emit(f"\nfaults: {len(faults)}")
+    kinds: dict[str, int] = {}
+    for event in faults:
+        kind = str(event.attrs.get("kind", "?"))
+        kinds[kind] = kinds.get(kind, 0) + 1
+    for kind, count in sorted(kinds.items()):
+        emit(f"  {kind:24s} {count:8d}")
+
+    emit("\nreplayed counters:")
+    for name, value in analysis.counter_dict(
+        analysis.run_metrics_from_trace(trace)
+    ).items():
+        emit(f"  {name:20s} {value:8d}")
+    return 0
+
+
+def _attribute_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import analysis, import_trace
+
+    attribution = analysis.message_attribution(import_trace(args.input))
+    if args.json:
+        emit(json.dumps(attribution, sort_keys=True))
+    else:
+        for category, count in attribution.items():
+            emit(f"{category:16s} {count:8d}")
+    return 0
+
+
+def _flame_trace(args: argparse.Namespace) -> int:
+    from repro.obs import analysis, import_trace
+
+    stacks = analysis.folded_stacks(import_trace(args.input), weight=args.weight)
+    for stack, value in stacks.items():
+        emit(f"{stack} {value}")
+    return 0
+
+
 def _run_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "summarize":
+        return _summarize_trace(args)
+    if args.trace_command == "attribute":
+        return _attribute_trace(args)
+    if args.trace_command == "flame":
+        return _flame_trace(args)
     if args.trace_command == "record":
         from repro.datasets.traces import TraceRecorder
         from repro.experiments.harness import build_instance
@@ -261,7 +374,7 @@ def _run_trace(args: argparse.Namespace) -> int:
             recorder.observe(t)
         trace = recorder.finish()
         trace.save(args.output)
-        print(
+        emit(
             f"recorded {len(trace.events)} events over {trace.n_steps} steps "
             f"to {args.output}"
         )
@@ -295,22 +408,29 @@ def _run_trace(args: argparse.Namespace) -> int:
         if engine.step(t) is not None:
             executed += 1
     if len(engine.result):
-        print(
+        emit(
             f"replayed {trace.n_steps} steps: {executed} snapshot queries, "
             f"final estimate {engine.result.last().estimate:.3f}"
         )
     else:
-        print(f"replayed {trace.n_steps} steps: no snapshot executed")
+        emit(f"replayed {trace.n_steps} steps: no snapshot executed")
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "experiment":
-        return _run_experiment(args)
-    if args.command == "query":
-        return _run_query(args)
-    return _run_trace(args)
+    try:
+        if args.command == "experiment":
+            return _run_experiment(args)
+        if args.command == "query":
+            return _run_query(args)
+        return _run_trace(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; exit
+        # quietly instead of tracebacking. Redirect stdout to devnull so
+        # the interpreter's shutdown flush does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

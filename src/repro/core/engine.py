@@ -36,6 +36,7 @@ from repro.db.relation import P2PDatabase
 from repro.errors import QueryError
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
+from repro.obs.tracer import RunMetricsSink, SinkTracer
 from repro.sampling.operator import SamplerConfig, SamplingOperator
 from repro.sim.engine import PRIORITY_QUERY, SimulationEngine
 from repro.sim.metrics import RunMetrics
@@ -93,11 +94,18 @@ class DigestEngine:
         sampler_config: SamplerConfig | None = None,
         config: EngineConfig | None = None,
         operator: SamplingOperator | None = None,
+        tracer: SinkTracer | None = None,
     ) -> None:
         """``operator`` lets several engines share one sampling operator
         (continued-walk pool, spectral cache, per-occasion sample reuse) —
         see :class:`repro.core.node.DigestNode`. When given, ``ledger``
-        should be the ledger that operator records on."""
+        should be the ledger that operator records on.
+
+        ``tracer`` must be sink-capable (the engine's counters are
+        *derived* from the span stream, not hand-booked): a
+        :class:`~repro.obs.tracer.RunMetricsSink` feeding :attr:`metrics`
+        is always attached, whether the tracer was passed in or the
+        engine created its own."""
         if origin not in graph:
             raise QueryError(f"querying node {origin} is not in the overlay")
         database.schema.validate_expression(continuous_query.query.expression)
@@ -109,12 +117,17 @@ class DigestEngine:
         self._origin = origin
         self._config = config if config is not None else EngineConfig()
         self.ledger = ledger if ledger is not None else MessageLedger()
+        self.metrics = RunMetrics()
+        self.result = RunningResult()
+        self.tracer = tracer if tracer is not None else SinkTracer()
+        self.tracer.add_sink(RunMetricsSink(self.metrics))
+        self._next_trigger = "bootstrap"
         if operator is not None:
             self.operator = operator
         else:
-            self.operator = SamplingOperator(graph, rng, self.ledger, sampler_config)
-        self.metrics = RunMetrics()
-        self.result = RunningResult()
+            self.operator = SamplingOperator(
+                graph, rng, self.ledger, sampler_config, tracer=self.tracer
+            )
 
         population_provider = None
         if not self._config.oracle_population:
@@ -207,9 +220,13 @@ class DigestEngine:
         if not self._cq.active_at(time) or time < self._next_due:
             return None
         precision = self._cq.precision
-        estimate = self._evaluator.evaluate(
-            time, precision.epsilon, precision.confidence
+        span = self.tracer.span(
+            "snapshot_query", time=time, trigger=self._next_trigger
         )
+        with self.tracer.profile("snapshot_evaluate"):
+            estimate = self._evaluator.evaluate(
+                time, precision.epsilon, precision.confidence
+            )
         if (
             self._config.forward_revision
             and isinstance(self._evaluator, RepeatedEvaluator)
@@ -234,13 +251,22 @@ class DigestEngine:
         for subscription in self._subscriptions:
             subscription.offer(record)
         self._history.append((time, estimate.aggregate))
-        self.metrics.snapshot_queries += 1
-        self.metrics.samples_total += estimate.n_total
-        self.metrics.samples_fresh += estimate.n_fresh
-        self.metrics.samples_retained += estimate.n_retained
+        # counters (snapshot_queries, samples_*, degraded_estimates) are
+        # derived from this span by the RunMetricsSink — the same code
+        # path a replayed trace goes through, so they cannot drift apart.
+        self.tracer.end(
+            span,
+            time=time,
+            aggregate=estimate.aggregate,
+            n_total=estimate.n_total,
+            n_fresh=estimate.n_fresh,
+            n_retained=estimate.n_retained,
+            degraded=estimate.degraded,
+        )
         self.metrics.series("estimate").record(time, estimate.aggregate)
         self.metrics.series("samples_per_query").record(time, estimate.n_total)
         self._next_due = self._scheduler.next_time(self._history, time)
+        self._next_trigger = self._scheduler.last_decision
         return estimate
 
     def attach(self, simulation: SimulationEngine) -> None:

@@ -53,6 +53,13 @@ class ExtrapolationResult:
     remainder_rate: float  # |divided difference| = M / (d+1)!
     capped: bool  # True when the horizon cap, not Eq. 4, chose next_time
 
+    @property
+    def trigger_reason(self) -> str:
+        """Why the snapshot at ``next_time`` will run: the Eq. 4 drift
+        bound (``"predicted_drift"``) or the liveness horizon cap
+        (``"horizon_capped"``)."""
+        return "horizon_capped" if self.capped else "predicted_drift"
+
 
 class TaylorExtrapolator:
     """Predicts when the aggregate will have drifted by ``delta``.

@@ -22,6 +22,12 @@ from repro.errors import QueryError
 class SnapshotScheduler(Protocol):
     """Decides the next snapshot time from the history of results."""
 
+    #: Why the most recent :meth:`next_time` chose its answer — the
+    #: trigger reason carried on the next snapshot-query trace span
+    #: (``"periodic"``, ``"bootstrap"``, ``"predicted_drift"`` or
+    #: ``"horizon_capped"``).
+    last_decision: str
+
     def next_time(self, history: list[tuple[int, float]], now: int) -> int:
         """Absolute time of the next snapshot query (> ``now``)."""
         ...
@@ -34,6 +40,7 @@ class ContinuousScheduler:
         if period < 1:
             raise QueryError(f"period must be >= 1, got {period}")
         self.period = period
+        self.last_decision: str = "periodic"
 
     def next_time(self, history: list[tuple[int, float]], now: int) -> int:
         return now + self.period
@@ -68,6 +75,7 @@ class ExtrapolationScheduler:
         )
         self.predictions_made = 0
         self.bootstrap_steps = 0
+        self.last_decision: str = "bootstrap"
 
     @property
     def extrapolator(self) -> TaylorExtrapolator:
@@ -76,8 +84,10 @@ class ExtrapolationScheduler:
     def next_time(self, history: list[tuple[int, float]], now: int) -> int:
         if len(history) < self._extrapolator.required_history or self.delta == 0:
             self.bootstrap_steps += 1
+            self.last_decision = "bootstrap"
             return now + self.period
         result = self._extrapolator.predict_next_update(history, self.delta)
         self.predictions_made += 1
+        self.last_decision = result.trigger_reason
         # never schedule in the past/present, and snap to the step grid
         return max(now + self.period, result.next_time)

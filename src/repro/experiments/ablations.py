@@ -24,6 +24,7 @@ from repro.experiments.report import format_table
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
 from repro.network.topology import mesh_topology, power_law_topology, ring_topology
+from repro.obs.console import emit
 from repro.sampling.metropolis import metropolis_matrix
 from repro.sampling.mixing import total_variation
 from repro.sampling.operator import SamplerConfig, SamplingOperator
@@ -348,11 +349,11 @@ def importance_sampling_ablation(
 
 
 def main() -> None:
-    print(laziness_ablation().to_table(), end="\n\n")
-    print(continued_walk_ablation().to_table(), end="\n\n")
-    print(cluster_sampling_ablation().to_table(), end="\n\n")
-    print(replacement_policy_ablation().to_table(), end="\n\n")
-    print(importance_sampling_ablation().to_table())
+    emit(laziness_ablation().to_table() + "\n")
+    emit(continued_walk_ablation().to_table() + "\n")
+    emit(cluster_sampling_ablation().to_table() + "\n")
+    emit(replacement_policy_ablation().to_table() + "\n")
+    emit(importance_sampling_ablation().to_table())
 
 
 if __name__ == "__main__":

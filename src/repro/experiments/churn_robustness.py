@@ -25,6 +25,7 @@ from repro.experiments.report import format_table
 from repro.network.churn import ChurnConfig, ChurnProcess
 from repro.network.graph import OverlayGraph
 from repro.network.topology import power_law_topology
+from repro.obs.console import emit
 from repro.sampling.metropolis import stationary_distribution
 from repro.sampling.mixing import total_variation
 from repro.sampling.operator import SamplerConfig, SamplingOperator
@@ -206,7 +207,7 @@ def run(
 
 
 def main() -> None:
-    print(run().to_table())
+    emit(run().to_table())
 
 
 if __name__ == "__main__":

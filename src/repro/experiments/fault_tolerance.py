@@ -38,6 +38,10 @@ from repro.network.faults import CrashProcess, FaultConfig, FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
 from repro.network.topology import power_law_topology
+from repro.obs.analysis import verify_trace_consistency
+from repro.obs.console import emit
+from repro.obs.export import export_trace
+from repro.obs.tracer import RecordingTracer, RunMetricsSink, Trace
 from repro.protocol.runtime import ProtocolConfig, ProtocolSampler, RetryPolicy
 from repro.sampling.weights import uniform_weights
 from repro.sim.engine import PRIORITY_CHURN, SimulationEngine
@@ -90,6 +94,10 @@ class FaultSweepResult:
     config: FaultSweepConfig
     rows: list[FaultRow]
     metrics: RunMetrics
+    #: full telemetry capture of the sweep; ``metrics``' counters are
+    #: derived from it (RunMetricsSink), so replaying the trace must
+    #: reproduce them exactly — see --verify-trace
+    trace: Trace | None = None
 
     def to_table(self) -> str:
         table_rows = [
@@ -135,6 +143,7 @@ def _run_cell(
     message_loss: float,
     crash_probability: float,
     seed: int,
+    tracer: RecordingTracer,
 ) -> FaultRow:
     """One sweep cell: supervised walks under one (loss, crash) setting."""
     rng = np.random.default_rng(seed)
@@ -159,6 +168,13 @@ def _run_cell(
         ),
         rng=seed + 1,
     )
+    cell_span = tracer.span(
+        "fault_cell",
+        time=0,
+        message_loss=message_loss,
+        crash_probability=crash_probability,
+        seed=seed,
+    )
     sampler = ProtocolSampler(
         graph,
         uniform_weights(),
@@ -172,6 +188,7 @@ def _run_cell(
             max_retries=config.max_retries,
             backoff=config.backoff,
         ),
+        tracer=tracer,
     )
     crash = CrashProcess(graph, plan, protected={origin})
     if crash_probability > 0.0:
@@ -204,6 +221,29 @@ def _run_cell(
         else float("inf")
     )
     walk_traffic = ledger.walk_steps + ledger.sample_returns + ledger.retries
+    # the cell's estimate is one forced snapshot query; the span is what
+    # books samples_total/samples_fresh/degraded_estimates on the metrics
+    query_span = tracer.span(
+        "snapshot_query",
+        time=simulation.now,
+        parent=cell_span,
+        trigger="forced",
+    )
+    tracer.end(
+        query_span,
+        time=simulation.now,
+        aggregate=estimate,
+        n_total=n_achieved,
+        n_fresh=n_achieved,
+        n_retained=0,
+        degraded=degraded,
+    )
+    tracer.end(
+        cell_span,
+        time=simulation.now,
+        n_required=n_required,
+        n_achieved=n_achieved,
+    )
     return FaultRow(
         message_loss=message_loss,
         crash_probability=crash_probability,
@@ -234,30 +274,42 @@ def _run_cell(
 
 
 def run(
-    config: FaultSweepConfig | None = None, seed: int = 0
+    config: FaultSweepConfig | None = None,
+    seed: int = 0,
+    tracer: RecordingTracer | None = None,
 ) -> FaultSweepResult:
-    """Run the full loss x crash sweep; deterministic in ``seed``."""
+    """Run the full loss x crash sweep; deterministic in ``seed``.
+
+    The sweep always runs traced: counters on the returned ``metrics``
+    are *derived* from the span stream by a
+    :class:`~repro.obs.tracer.RunMetricsSink` (single source of truth —
+    no hand-booked duplicates), and the full trace is returned for
+    export/verification. Pass a ``tracer`` to add extra sinks or
+    metadata; otherwise one is created.
+    """
     config = config if config is not None else FaultSweepConfig()
+    if tracer is None:
+        tracer = RecordingTracer(
+            meta={"experiment": "fault_tolerance", "seed": seed}
+        )
     rows: list[FaultRow] = []
     metrics = RunMetrics()
+    tracer.add_sink(RunMetricsSink(metrics))
     for i, loss in enumerate(config.loss_rates):
         for j, crash in enumerate(config.crash_rates):
             cell_seed = seed + 1000 * i + 10 * j
-            row = _run_cell(config, loss, crash, cell_seed)
+            row = _run_cell(config, loss, crash, cell_seed, tracer)
             rows.append(row)
-            metrics.samples_total += row.n_achieved
-            metrics.samples_fresh += row.n_achieved
-            metrics.walks_retried += row.walks_retried
-            metrics.walks_failed += row.n_required - row.n_achieved
-            metrics.faults_injected += sum(row.faults.values())
-            metrics.degraded_estimates += int(row.degraded)
+            # series stay hand-recorded: cell-indexed, not sim-timed
             metrics.series("completion_rate").record(
                 len(rows), row.completion_rate
             )
             metrics.series("retry_overhead").record(
                 len(rows), row.retry_overhead
             )
-    return FaultSweepResult(config=config, rows=rows, metrics=metrics)
+    return FaultSweepResult(
+        config=config, rows=rows, metrics=metrics, trace=tracer.trace()
+    )
 
 
 def smoke_config() -> FaultSweepConfig:
@@ -278,10 +330,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="reduced sweep for CI (2x2 grid, small overlay)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="export the sweep's JSONL telemetry trace to this path",
+    )
+    parser.add_argument(
+        "--verify-trace",
+        action="store_true",
+        help="fail unless replayed-trace counters equal the live metrics",
+    )
     args = parser.parse_args(argv)
     config = smoke_config() if args.smoke else FaultSweepConfig()
     result = run(config, seed=args.seed)
-    print(result.to_table())
+    emit(result.to_table())
     worst = [
         row
         for row in result.rows
@@ -289,7 +351,7 @@ def main(argv: list[str] | None = None) -> int:
         and row.crash_probability == max(config.crash_rates)
     ]
     for row in worst:
-        print(
+        emit(
             f"\nworst cell (loss={row.message_loss}, crash="
             f"{row.crash_probability}): completion {row.completion_rate:.3f}, "
             f"recovery {row.recovery_rate:.3f}, faults: "
@@ -302,8 +364,23 @@ def main(argv: list[str] | None = None) -> int:
         if not row.degraded and row.n_achieved < row.n_required
     ]
     if dishonest:
-        print(f"DISHONEST ROWS: {len(dishonest)}")
+        emit(f"DISHONEST ROWS: {len(dishonest)}")
         return 1
+    assert result.trace is not None
+    if args.trace_out:
+        path = export_trace(result.trace, args.trace_out)
+        emit(
+            f"\ntrace: {len(result.trace.spans)} spans, "
+            f"{len(result.trace.events)} events -> {path}"
+        )
+    if args.verify_trace:
+        mismatches = verify_trace_consistency(result.trace, result.metrics)
+        if mismatches:
+            emit("TRACE-COUNTER MISMATCH:")
+            for mismatch in mismatches:
+                emit(f"  {mismatch}")
+            return 1
+        emit("trace-vs-counters consistency: OK")
     return 0
 
 

@@ -22,6 +22,7 @@ from repro.experiments.harness import (
     run_continuous_query,
 )
 from repro.experiments.report import format_table
+from repro.obs.console import emit
 
 DEFAULT_RATIOS = (0.05, 0.125, 0.25, 0.5, 1.0, 2.0)
 DEFAULT_PRED_KS = (2, 3, 4)
@@ -116,9 +117,9 @@ def main() -> None:
     from repro.experiments.plotting import ascii_chart
 
     result = run()
-    print(result.to_table())
-    print()
-    print(
+    emit(result.to_table())
+    emit()
+    emit(
         ascii_chart(
             {
                 algorithm: (result.ratios, result.snapshot_queries[algorithm])
@@ -131,7 +132,7 @@ def main() -> None:
     )
     last = len(result.ratios) - 1
     for algorithm in result.algorithms[1:]:
-        print(
+        emit(
             f"{algorithm} reduction vs ALL at delta/sigma="
             f"{result.ratios[last]}: "
             f"{100 * result.reduction_vs_all(algorithm, last):.0f}%"

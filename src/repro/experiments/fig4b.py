@@ -25,6 +25,7 @@ from repro.experiments.harness import (
     run_continuous_query,
 )
 from repro.experiments.report import format_table
+from repro.obs.console import emit
 
 # ratios chosen so the CLT sample size stays well above the pilot floor
 # (n = (z_p / ratio)^2 ~ 43..384); beyond ~0.35 both algorithms bottom out
@@ -130,9 +131,9 @@ def main() -> None:
 
     for dataset in ("temperature", "memory"):
         result = run(dataset=dataset)
-        print(result.to_table())
-        print()
-        print(
+        emit(result.to_table())
+        emit()
+        emit(
             ascii_chart(
                 {
                     "INDEP": (result.epsilon_ratios, result.samples_indep),
@@ -143,7 +144,7 @@ def main() -> None:
                 y_label="samples per query",
             )
         )
-        print(
+        emit(
             f"{dataset}: average improvement factor I = "
             f"{result.improvement_factor:.2f}\n"
         )

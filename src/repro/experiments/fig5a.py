@@ -22,6 +22,7 @@ from repro.experiments.harness import (
     run_continuous_query,
 )
 from repro.experiments.report import format_table
+from repro.obs.console import emit
 
 COMBINATIONS = (
     ("ALL+INDEP", "all", "independent"),
@@ -106,8 +107,8 @@ def run(
 def main() -> None:
     for dataset in ("temperature", "memory"):
         result = run(dataset=dataset)
-        print(result.to_table())
-        print(
+        emit(result.to_table())
+        emit(
             f"{dataset}: Digest vs naive total-sample ratio = "
             f"{result.digest_vs_naive:.2f}x "
             f"(paper: up to 3.2x on TEMPERATURE)\n"

@@ -31,6 +31,7 @@ from repro.experiments.harness import (
     run_continuous_query,
 )
 from repro.experiments.report import format_table
+from repro.obs.console import emit
 
 SYSTEMS = ("ALL+ALL", "ALL+FILTER", "ALL+INDEP", "Digest(PRED3+RPT)")
 
@@ -128,9 +129,9 @@ def main() -> None:
     from repro.experiments.plotting import ascii_bars
 
     result = run(dataset="temperature")
-    print(result.to_table())
-    print()
-    print(
+    emit(result.to_table())
+    emit()
+    emit(
         ascii_bars(
             {name: float(result.messages[name]) for name in SYSTEMS},
             title="Figure 5-b: total messages",

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.forward import revise_previous
 from repro.experiments.report import format_table
+from repro.obs.console import emit
 
 
 @dataclass
@@ -119,8 +120,8 @@ def simulate(
 
 def main() -> None:
     for rho in (0.5, 0.85, 0.95):
-        print(simulate(rho=rho).to_table())
-        print()
+        emit(simulate(rho=rho).to_table())
+        emit()
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from repro.experiments.harness import (
     pick_origin,
 )
 from repro.experiments.report import format_table
+from repro.obs.console import emit
 
 
 @dataclass
@@ -190,11 +191,11 @@ def resolution(
 
 def main() -> None:
     for evaluator in ("independent", "repeated"):
-        print(coverage(evaluator=evaluator).to_table())
-        print()
+        emit(coverage(evaluator=evaluator).to_table())
+        emit()
     for safety in (1.0, 2.0):
-        print(resolution(safety_factor=safety).to_table())
-        print()
+        emit(resolution(safety_factor=safety).to_table())
+        emit()
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from repro.datasets.temperature import TemperatureConfig, TemperatureDataset
 from repro.db.aggregates import AggregateOp
 from repro.errors import SimulationError
 from repro.network.messaging import MessageLedger
+from repro.obs.tracer import RecordingTracer, SinkTracer, Trace
 from repro.sampling.operator import SamplerConfig
 from repro.sim.metrics import RunMetrics
 
@@ -68,11 +69,15 @@ def make_engine(
     pred_points: int = 3,
     sampler_config: SamplerConfig | None = None,
     duration: int | None = None,
+    tracer: SinkTracer | None = None,
 ) -> DigestEngine:
     """Engine for one of the paper's algorithm combinations.
 
     ``scheduler``: ``"all"`` or ``"pred"`` (with ``pred_points`` = the k of
     PRED-k); ``evaluator``: ``"independent"`` or ``"repeated"``.
+    ``tracer`` (e.g. a :class:`~repro.obs.tracer.RecordingTracer` when the
+    run's trace should be exported) is forwarded to the engine, which
+    derives its counters from it.
     """
     continuous_query = canonical_query(instance, precision, duration)
     return DigestEngine(
@@ -87,6 +92,7 @@ def make_engine(
             evaluator=evaluator,
             pred_points=pred_points,
         ),
+        tracer=tracer,
     )
 
 
@@ -99,6 +105,8 @@ class ExperimentRun:
     oracle_times: list[int] = field(default_factory=list)
     oracle_values: list[float] = field(default_factory=list)
     estimate_errors: list[float] = field(default_factory=list)
+    #: full span/event capture when the engine ran with a RecordingTracer
+    trace: Trace | None = None
 
     @property
     def snapshot_queries(self) -> int:
@@ -159,4 +167,6 @@ def run_continuous_query(
             run.oracle_times.append(time)
             run.oracle_values.append(truth)
             run.estimate_errors.append(abs(estimate.aggregate - truth))
+    if isinstance(engine.tracer, RecordingTracer):
+        run.trace = engine.tracer.trace()
     return run

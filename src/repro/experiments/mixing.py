@@ -24,6 +24,7 @@ from repro.experiments.report import format_table
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
 from repro.network.topology import mesh_topology, power_law_topology
+from repro.obs.console import emit
 from repro.sampling import mixing as mixing_mod
 from repro.sampling.operator import SamplerConfig, SamplingOperator
 from repro.sampling.walker import WalkContext
@@ -165,9 +166,9 @@ def paper_scale_costs(seed: int = 0) -> dict[str, float]:
 
 def main() -> None:
     result = run()
-    print(result.to_table())
+    emit(result.to_table())
     costs = paper_scale_costs()
-    print(
+    emit(
         f"\nPaper-scale per-sample cost: mesh(530) = "
         f"{costs['mesh_530']:.0f} msgs (paper: 65), power-law(820) = "
         f"{costs['power_law_820']:.0f} msgs (paper: 43)"

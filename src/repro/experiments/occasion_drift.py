@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.experiments.report import format_table
+from repro.obs.console import emit
 from repro.sampling.operator import SamplerConfig, SamplingOperator
 
 if TYPE_CHECKING:
@@ -174,7 +175,7 @@ def run(
 
 
 def main() -> None:
-    print(run().to_table())
+    emit(run().to_table())
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.experiments.report import format_table
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
 from repro.network.topology import power_law_topology
+from repro.obs.console import emit
 from repro.protocol.runtime import ProtocolConfig, ProtocolSampler
 from repro.sampling.metropolis import stationary_distribution
 from repro.sampling.mixing import total_variation
@@ -152,7 +153,7 @@ def run(
 
 
 def main() -> None:
-    print(run().to_table())
+    emit(run().to_table())
 
 
 if __name__ == "__main__":

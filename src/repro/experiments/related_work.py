@@ -33,6 +33,7 @@ from repro.experiments.harness import (
     pick_origin,
 )
 from repro.experiments.report import format_table
+from repro.obs.console import emit
 
 # ----------------------------------------------------------------------
 # gossip crossover
@@ -224,9 +225,9 @@ def tag_vs_churn(
 
 
 def main() -> None:
-    print(gossip_crossover().to_table())
-    print()
-    print(tag_vs_churn().to_table())
+    emit(gossip_crossover().to_table())
+    emit()
+    emit(tag_vs_churn().to_table())
 
 
 if __name__ == "__main__":

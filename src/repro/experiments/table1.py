@@ -26,6 +26,7 @@ from repro.core.repeated import (
     optimal_partition,
 )
 from repro.experiments.report import format_table
+from repro.obs.console import emit
 
 
 @dataclass
@@ -141,9 +142,9 @@ def simulate(
 def main() -> None:
     for rho in (0.5, 0.85, 0.95):
         result = simulate(rho=rho)
-        print(result.to_table())
+        emit(result.to_table())
         opt = minimum_variance(result.sigma2, result.n, rho)
-        print(
+        emit(
             f"Eq. 10 minimum variance at optimal split: {opt:.5f} "
             f"(empirical combined: {result.empirical['combined']:.5f})\n"
         )

@@ -17,6 +17,7 @@ import numpy as np
 from repro.datasets.base import lag1_correlation_matched
 from repro.experiments.harness import build_instance
 from repro.experiments.report import format_table
+from repro.obs.console import emit
 
 PAPER_ROWS = {
     "temperature": {
@@ -108,8 +109,8 @@ def run(dataset: str = "temperature", scale: float = 0.1, seed: int = 0,
 
 def main() -> None:
     for dataset in ("temperature", "memory"):
-        print(run(dataset=dataset).to_table())
-        print()
+        emit(run(dataset=dataset).to_table())
+        emit()
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ arrives. This module is the single source of injected unreliability:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -100,6 +101,20 @@ class FaultLog:
 
     def __init__(self) -> None:
         self._events: list[FaultEvent] = []
+        self._listeners: dict[str, Callable[[FaultEvent], None]] = {}
+
+    def subscribe(
+        self, listener: Callable[[FaultEvent], None], key: str
+    ) -> None:
+        """Register ``listener`` for every *future* event.
+
+        Listeners are keyed: subscribing again under the same key replaces
+        the old listener rather than adding a duplicate, so a log shared
+        between components (e.g. a fault plan wired into both an operator
+        and a protocol sampler) can be bridged to the same observer twice
+        without double-counting.
+        """
+        self._listeners[key] = listener
 
     def record(
         self,
@@ -110,11 +125,12 @@ class FaultLog:
         detail: str = "",
     ) -> None:
         """Append one fault event."""
-        self._events.append(
-            FaultEvent(
-                time=time, kind=kind, walker_id=walker_id, node=node, detail=detail
-            )
+        event = FaultEvent(
+            time=time, kind=kind, walker_id=walker_id, node=node, detail=detail
         )
+        self._events.append(event)
+        for listener in self._listeners.values():
+            listener(event)
 
     def __len__(self) -> int:
         return len(self._events)

@@ -1,0 +1,212 @@
+"""Post-hoc trace analysis: the numbers behind the paper's figures.
+
+Everything here works on an exported/imported :class:`~repro.obs.tracer.Trace`
+alone — no simulation re-run. The reconstruction functions mirror the live
+bookkeeping exactly:
+
+* :func:`run_metrics_from_trace` feeds the trace through the *same*
+  :class:`~repro.obs.tracer.RunMetricsSink` the engine uses live, so
+  :func:`verify_trace_consistency` can demand exact counter equality;
+* :func:`message_attribution` rebuilds the per-category message cost
+  (first-attempt vs. retry vs. probe vs. advertisement) from walk-span
+  events, whose bucketing mirrors the
+  :class:`~repro.network.messaging.MessageLedger` categories;
+* :func:`walk_latency_histogram`, :func:`fault_timeline`,
+  :func:`degraded_timeline` and :func:`trigger_breakdown` reconstruct the
+  diagnostic views the ``repro-digest trace summarize`` CLI prints;
+* :func:`folded_stacks` emits flamegraph-style folded stacks over
+  simulated time.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import DEFAULT_DURATION_BUCKETS, Histogram
+from repro.obs.tracer import RunMetricsSink, Span, Trace, TraceEvent
+from repro.sim.metrics import RunMetrics
+
+#: The scalar counters RunMetricsSink derives; the consistency check
+#: compares exactly these.
+COUNTER_FIELDS = (
+    "snapshot_queries",
+    "samples_total",
+    "samples_fresh",
+    "samples_retained",
+    "walks_retried",
+    "walks_failed",
+    "faults_injected",
+    "degraded_estimates",
+)
+
+
+def _as_int(value: object, default: int = 0) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return int(value)
+    return default
+
+
+def run_metrics_from_trace(trace: Trace) -> RunMetrics:
+    """Reconstruct the run's counters by replaying the span stream.
+
+    Uses the same :class:`~repro.obs.tracer.RunMetricsSink` the live
+    engine attaches, so the counter semantics cannot drift between the
+    live path and the replay path.
+    """
+    metrics = RunMetrics()
+    sink = RunMetricsSink(metrics)
+    for span in trace.spans:
+        sink.on_span_end(span)
+    for event in trace.events:
+        sink.on_event(event)
+    return metrics
+
+
+def counter_dict(metrics: RunMetrics) -> dict[str, int]:
+    """The scalar counters as a plain dict (fixed field order)."""
+    return {name: int(getattr(metrics, name)) for name in COUNTER_FIELDS}
+
+
+def verify_trace_consistency(trace: Trace, live: RunMetrics) -> list[str]:
+    """Mismatches between replayed-trace counters and live counters.
+
+    Returns one ``"name: trace=X live=Y"`` line per differing counter —
+    empty means the trace fully accounts for the live run (the CI gate).
+    """
+    replayed = counter_dict(run_metrics_from_trace(trace))
+    actual = counter_dict(live)
+    return [
+        f"{name}: trace={replayed[name]} live={actual[name]}"
+        for name in COUNTER_FIELDS
+        if replayed[name] != actual[name]
+    ]
+
+
+def message_attribution(trace: Trace) -> dict[str, int]:
+    """Per-category message counts rebuilt from span events.
+
+    Buckets mirror the :class:`~repro.network.messaging.MessageLedger`
+    categories: ``walk_steps`` / ``sample_returns`` are first-attempt
+    traffic, ``retries`` is all traffic of attempts >= 2, ``probes``
+    (request + reply per cache miss) and ``advertisements`` sum to
+    ``control``.
+    """
+    attribution = {
+        "walk_steps": 0,
+        "sample_returns": 0,
+        "retries": 0,
+        "probes": 0,
+        "advertisements": 0,
+    }
+    for span in trace.spans_named("walk"):
+        for event in span.events:
+            if event.name == "message":
+                category = event.attrs.get("category")
+                if category == "walk":
+                    attribution["walk_steps"] += 1
+                elif category == "return":
+                    attribution["sample_returns"] += 1
+                elif category == "retry":
+                    attribution["retries"] += 1
+            elif event.name == "probe":
+                attribution["probes"] += _as_int(
+                    event.attrs.get("messages"), default=2
+                )
+    for event in trace.events:
+        if event.name == "advertisement":
+            attribution["advertisements"] += 1
+    attribution["control"] = (
+        attribution["probes"] + attribution["advertisements"]
+    )
+    attribution["total"] = (
+        attribution["walk_steps"]
+        + attribution["sample_returns"]
+        + attribution["retries"]
+        + attribution["control"]
+    )
+    return attribution
+
+
+def walk_latency_histogram(
+    trace: Trace,
+    boundaries: tuple[float, ...] = DEFAULT_DURATION_BUCKETS,
+) -> Histogram:
+    """Simulated-time latency distribution of finished walks."""
+    histogram = Histogram("walk_latency", tuple(boundaries))
+    for span in trace.spans_named("walk"):
+        if span.end is not None:
+            histogram.observe(float(span.duration))
+    return histogram
+
+
+def walk_outcomes(trace: Trace) -> dict[str, int]:
+    """Finished walks by outcome (``completed`` / ``failed``)."""
+    counts: dict[str, int] = {}
+    for span in trace.spans_named("walk"):
+        outcome = str(span.attrs.get("outcome", "open"))
+        counts[outcome] = counts.get(outcome, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def fault_timeline(trace: Trace) -> list[TraceEvent]:
+    """All fault events in time order (time ``-1`` = outside the loop)."""
+    return sorted(
+        (event for event in trace.events if event.name == "fault"),
+        key=lambda event: event.time,
+    )
+
+
+def degraded_timeline(trace: Trace) -> list[Span]:
+    """Snapshot-query spans whose estimate was honestly degraded."""
+    return [
+        span
+        for span in trace.spans_named("snapshot_query")
+        if bool(span.attrs.get("degraded", False))
+    ]
+
+
+def trigger_breakdown(trace: Trace) -> dict[str, int]:
+    """Snapshot queries by trigger reason (bootstrap/periodic/...)."""
+    counts: dict[str, int] = {}
+    for span in trace.spans_named("snapshot_query"):
+        reason = str(span.attrs.get("trigger", "unknown"))
+        counts[reason] = counts.get(reason, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def folded_stacks(trace: Trace, weight: str = "time") -> dict[str, int]:
+    """Flamegraph folded stacks (``parent;child value`` semantics).
+
+    ``weight="time"`` sums each span's *self* simulated time (duration
+    minus finished children); ``weight="count"`` counts spans per stack.
+    Feed the result to any standard flamegraph renderer.
+    """
+    if weight not in ("time", "count"):
+        raise ValueError(f"weight must be 'time' or 'count', got {weight!r}")
+    spans_by_id = {span.span_id: span for span in trace.spans}
+    children_time: dict[int, int] = {}
+    for span in trace.spans:
+        if span.parent_id is not None and span.end is not None:
+            children_time[span.parent_id] = (
+                children_time.get(span.parent_id, 0) + span.duration
+            )
+    stacks: dict[str, int] = {}
+    for span in trace.spans:
+        if span.end is None:
+            continue
+        path = [span.name]
+        cursor = span
+        while cursor.parent_id is not None:
+            parent = spans_by_id.get(cursor.parent_id)
+            if parent is None:
+                break
+            path.append(parent.name)
+            cursor = parent
+        stack = ";".join(reversed(path))
+        value = (
+            max(0, span.duration - children_time.get(span.span_id, 0))
+            if weight == "time"
+            else 1
+        )
+        stacks[stack] = stacks.get(stack, 0) + value
+    return dict(sorted(stacks.items()))

@@ -1,0 +1,140 @@
+"""Portable JSONL trace export/import.
+
+One JSON object per line: a ``header`` record first (format version and
+tracer metadata), then one ``span`` record per finished span with its
+events inlined as ``[time, name, attrs]`` triples, then one ``event``
+record per span-less event. Keys are sorted, so identical runs produce
+byte-identical files — the round-trip test asserts
+``import_trace(path).summary() == trace.summary()``.
+
+The format is deliberately self-contained: no numpy import (scalar
+attribute values from numpy-based callers are converted through their
+duck-typed ``.item()``), no pickle, nothing version-fragile.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.obs.tracer import Span, Trace, TraceEvent
+
+#: Bumped on any incompatible record-shape change.
+FORMAT_VERSION = 1
+
+
+def _json_default(value: object) -> object:
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(
+        f"trace attribute of type {type(value).__name__} is not JSON-portable"
+    )
+
+
+def _dump(record: dict[str, object], fh: IO[str]) -> None:
+    fh.write(json.dumps(record, sort_keys=True, default=_json_default))
+    fh.write("\n")
+
+
+def export_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` as JSONL; returns the resolved path."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as fh:
+        _dump(
+            {
+                "kind": "header",
+                "format_version": FORMAT_VERSION,
+                "meta": trace.meta,
+                "n_spans": len(trace.spans),
+                "n_events": len(trace.events),
+            },
+            fh,
+        )
+        for span in trace.spans:
+            _dump(
+                {
+                    "kind": "span",
+                    "span_id": span.span_id,
+                    "name": span.name,
+                    "start": span.start,
+                    "end": span.end,
+                    "parent_id": span.parent_id,
+                    "attrs": span.attrs,
+                    "events": [
+                        [event.time, event.name, event.attrs]
+                        for event in span.events
+                    ],
+                },
+                fh,
+            )
+        for event in trace.events:
+            _dump(
+                {
+                    "kind": "event",
+                    "time": event.time,
+                    "name": event.name,
+                    "attrs": event.attrs,
+                },
+                fh,
+            )
+    return target
+
+
+def import_trace(path: str | Path) -> Trace:
+    """Read a JSONL trace written by :func:`export_trace`."""
+    source = Path(path)
+    trace = Trace()
+    with source.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "header":
+                version = record.get("format_version")
+                if version != FORMAT_VERSION:
+                    raise ValueError(
+                        f"{source}: unsupported trace format version "
+                        f"{version!r} (expected {FORMAT_VERSION})"
+                    )
+                trace.meta = dict(record.get("meta") or {})
+            elif kind == "span":
+                span = Span(
+                    span_id=int(record["span_id"]),
+                    name=str(record["name"]),
+                    start=int(record["start"]),
+                    parent_id=(
+                        None
+                        if record.get("parent_id") is None
+                        else int(record["parent_id"])
+                    ),
+                    attrs=dict(record.get("attrs") or {}),
+                    end=(
+                        None
+                        if record.get("end") is None
+                        else int(record["end"])
+                    ),
+                )
+                for time, name, attrs in record.get("events") or []:
+                    span.events.append(
+                        TraceEvent(
+                            time=int(time), name=str(name), attrs=dict(attrs)
+                        )
+                    )
+                trace.spans.append(span)
+            elif kind == "event":
+                trace.events.append(
+                    TraceEvent(
+                        time=int(record["time"]),
+                        name=str(record["name"]),
+                        attrs=dict(record.get("attrs") or {}),
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"{source}:{lineno}: unknown trace record kind {kind!r}"
+                )
+    return trace

@@ -1,0 +1,428 @@
+"""Structured trace spans over simulated time.
+
+A :class:`Span` covers an interval of *simulated* time (a walk, a sample
+acquisition, a snapshot query); a :class:`TraceEvent` marks an instant
+(a hop, a retry, a fault, one message). Spans nest through ``parent_id``
+and carry free-form attributes, so a trace is a forest annotated with
+exactly the quantities the paper's cost model is denominated in.
+
+Three tracers share one interface:
+
+* :class:`NullTracer` (the default everywhere) — every call is a no-op
+  returning a shared immutable span, so instrumented hot paths pay one
+  dynamic dispatch and nothing else;
+* :class:`SinkTracer` — builds real spans and hands each *finished* span
+  (and each span-less event) to its :class:`TraceSink` instances. The
+  canonical sink is :class:`RunMetricsSink`, which derives the
+  :class:`~repro.sim.metrics.RunMetrics` counters from the span stream —
+  call sites no longer book counters by hand, so the live counters and a
+  replayed trace cannot drift apart;
+* :class:`RecordingTracer` — a :class:`SinkTracer` that additionally
+  retains every span and event for export
+  (:func:`repro.obs.export.export_trace`).
+
+Simulated time is threaded explicitly (``time=`` arguments) or read from
+a clock passed at construction; a span recorded outside the event loop
+uses ``-1``, the same sentinel :class:`~repro.network.faults.FaultEvent`
+uses. Wall-clock time never enters a span — profiling is a separate,
+clearly-labeled concern (:mod:`repro.obs.profile`).
+"""
+
+from __future__ import annotations
+
+from contextlib import AbstractContextManager, nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from repro.obs.profile import WallClockProfiler
+from repro.obs.registry import DEFAULT_DURATION_BUCKETS, MetricsRegistry
+from repro.sim.clock import SimulationClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.network.faults import FaultEvent, FaultLog
+    from repro.sim.metrics import RunMetrics
+
+#: Simulated-time sentinel for "outside the event loop" (mirrors
+#: :class:`repro.network.faults.FaultEvent`).
+NO_TIME = -1
+
+ClockSource = Callable[[], int]
+
+
+@dataclass
+class TraceEvent:
+    """One instantaneous occurrence, optionally attached to a span."""
+
+    time: int
+    name: str
+    attrs: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One interval of simulated time with attributes and child events.
+
+    ``end`` stays ``None`` while the span is open; :meth:`Tracer.end`
+    closes it. ``parent_id`` is ``None`` for roots.
+    """
+
+    span_id: int
+    name: str
+    start: int
+    parent_id: int | None = None
+    attrs: dict[str, object] = field(default_factory=dict)
+    events: list[TraceEvent] = field(default_factory=list)
+    end: int | None = None
+
+    def set(self, **attrs: object) -> None:
+        """Merge attributes into the span."""
+        self.attrs.update(attrs)
+
+    def add_event(self, time: int, name: str, **attrs: object) -> None:
+        """Append an instantaneous child event."""
+        self.events.append(TraceEvent(time=time, name=name, attrs=dict(attrs)))
+
+    @property
+    def duration(self) -> int:
+        """Simulated-time extent (0 while the span is still open)."""
+        return 0 if self.end is None else self.end - self.start
+
+
+class _NullSpan(Span):
+    """The shared do-nothing span handed out by :class:`NullTracer`."""
+
+    def set(self, **attrs: object) -> None:
+        return None
+
+    def add_event(self, time: int, name: str, **attrs: object) -> None:
+        return None
+
+
+#: Singleton no-op span; identity-checkable (``span is NULL_SPAN``).
+NULL_SPAN = _NullSpan(span_id=-1, name="null", start=NO_TIME)
+
+
+class TraceSink(Protocol):
+    """Receives finished spans and span-less events from a tracer."""
+
+    def on_span_end(self, span: Span) -> None:
+        """Called exactly once per span, when it is closed."""
+        ...
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Called for each event recorded outside any span."""
+        ...
+
+
+class Tracer:
+    """Tracer interface; the base class itself behaves as a no-op."""
+
+    @property
+    def enabled(self) -> bool:
+        """False when every call is a no-op (hot paths may early-out)."""
+        return False
+
+    def span(
+        self,
+        name: str,
+        time: int | None = None,
+        parent: Span | None = None,
+        **attrs: object,
+    ) -> Span:
+        """Open a span starting now (or at the explicit ``time``)."""
+        return NULL_SPAN
+
+    def end(self, span: Span, time: int | None = None, **attrs: object) -> None:
+        """Close ``span``, merging final attributes."""
+        return None
+
+    def event(
+        self,
+        name: str,
+        time: int | None = None,
+        span: Span | None = None,
+        **attrs: object,
+    ) -> None:
+        """Record an instantaneous event, attached to ``span`` when given."""
+        return None
+
+    def profile(self, section: str) -> AbstractContextManager[None]:
+        """Wall-clock section timer (no-op without a profiler attached)."""
+        return nullcontext()
+
+
+class NullTracer(Tracer):
+    """The explicit no-op tracer (equivalent to the base class)."""
+
+
+#: Shared default tracer instance; instrumented constructors fall back to
+#: it so disabling tracing allocates nothing.
+NULL_TRACER = NullTracer()
+
+
+class SinkTracer(Tracer):
+    """Builds real spans and dispatches finished ones to sinks.
+
+    ``clock`` supplies simulated time when a call omits ``time=``: either
+    a :class:`~repro.sim.clock.SimulationClock` or any ``() -> int``
+    callable; without one, untimed records use ``-1`` (outside the event
+    loop). ``profiler`` enables :meth:`profile` sections. Span ids are
+    assigned sequentially, so identical runs produce identical traces.
+    """
+
+    def __init__(
+        self,
+        sinks: list[TraceSink] | None = None,
+        clock: SimulationClock | ClockSource | None = None,
+        profiler: WallClockProfiler | None = None,
+        meta: dict[str, object] | None = None,
+    ) -> None:
+        self._sinks: list[TraceSink] = list(sinks) if sinks else []
+        self._clock: ClockSource | None
+        if isinstance(clock, SimulationClock):
+            self._clock = lambda: clock.now
+        else:
+            self._clock = clock
+        self._profiler = profiler
+        self.meta: dict[str, object] = dict(meta) if meta else {}
+        self._next_id = 1
+        self.spans_started = 0
+        self.spans_ended = 0
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    @property
+    def profiler(self) -> WallClockProfiler | None:
+        return self._profiler
+
+    def add_sink(self, sink: TraceSink) -> None:
+        """Attach another sink (receives only spans finished afterwards)."""
+        self._sinks.append(sink)
+
+    def _now(self, time: int | None) -> int:
+        if time is not None:
+            return time
+        if self._clock is not None:
+            return self._clock()
+        return NO_TIME
+
+    def span(
+        self,
+        name: str,
+        time: int | None = None,
+        parent: Span | None = None,
+        **attrs: object,
+    ) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            start=self._now(time),
+            parent_id=(
+                parent.span_id
+                if parent is not None and parent is not NULL_SPAN
+                else None
+            ),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans_started += 1
+        return span
+
+    def end(self, span: Span, time: int | None = None, **attrs: object) -> None:
+        if span is NULL_SPAN or span.end is not None:
+            return
+        span.attrs.update(attrs)
+        span.end = max(self._now(time), span.start)
+        self.spans_ended += 1
+        for sink in self._sinks:
+            sink.on_span_end(span)
+
+    def event(
+        self,
+        name: str,
+        time: int | None = None,
+        span: Span | None = None,
+        **attrs: object,
+    ) -> None:
+        event = TraceEvent(time=self._now(time), name=name, attrs=dict(attrs))
+        if span is not None and span is not NULL_SPAN:
+            span.events.append(event)
+            return
+        for sink in self._sinks:
+            sink.on_event(event)
+
+    def profile(self, section: str) -> AbstractContextManager[None]:
+        if self._profiler is None:
+            return nullcontext()
+        return self._profiler.section(section)
+
+
+@dataclass
+class Trace:
+    """A finished trace: all retained spans, span-less events, metadata."""
+
+    spans: list[Span] = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def spans_named(self, name: str) -> list[Span]:
+        """All spans with the given name, in id order."""
+        return [span for span in self.spans if span.name == name]
+
+    def summary(self) -> dict[str, int]:
+        """Deterministic shape digest: span/event counts by name.
+
+        Span-attached events are prefixed ``event:``, span-less ones
+        ``loose:`` — the JSONL round-trip test asserts this digest is
+        identical after export → import.
+        """
+        digest: dict[str, int] = {}
+        for span in self.spans:
+            key = f"span:{span.name}"
+            digest[key] = digest.get(key, 0) + 1
+            for event in span.events:
+                ekey = f"event:{event.name}"
+                digest[ekey] = digest.get(ekey, 0) + 1
+        for event in self.events:
+            lkey = f"loose:{event.name}"
+            digest[lkey] = digest.get(lkey, 0) + 1
+        return dict(sorted(digest.items()))
+
+
+class _RecorderSink:
+    """Internal sink retaining everything for :class:`RecordingTracer`."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+
+    def on_span_end(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+
+class RecordingTracer(SinkTracer):
+    """A :class:`SinkTracer` that retains spans and events for export."""
+
+    def __init__(
+        self,
+        sinks: list[TraceSink] | None = None,
+        clock: SimulationClock | ClockSource | None = None,
+        profiler: WallClockProfiler | None = None,
+        meta: dict[str, object] | None = None,
+    ) -> None:
+        super().__init__(sinks=sinks, clock=clock, profiler=profiler, meta=meta)
+        self._recorder = _RecorderSink()
+        self.add_sink(self._recorder)
+
+    def trace(self) -> Trace:
+        """The trace recorded so far (finished spans, in end order)."""
+        return Trace(
+            spans=sorted(self._recorder.spans, key=lambda s: s.span_id),
+            events=list(self._recorder.events),
+            meta=dict(self.meta),
+        )
+
+
+# ----------------------------------------------------------------------
+# canonical sinks
+# ----------------------------------------------------------------------
+
+
+def _as_int(value: object, default: int = 0) -> int:
+    """Attribute values are typed ``object``; coerce numbers, else default."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return int(value)
+    return default
+
+
+class RunMetricsSink:
+    """Derives :class:`~repro.sim.metrics.RunMetrics` counters from spans.
+
+    This is the *single source of truth* for the counter semantics; the
+    replay side (:func:`repro.obs.analysis.run_metrics_from_trace`) feeds
+    an imported trace through this same class, which is why the
+    trace-vs-live consistency check can demand exact equality:
+
+    * ``snapshot_query`` span → ``snapshot_queries`` +1; ``samples_total``
+      / ``samples_fresh`` / ``samples_retained`` from the span's
+      ``n_total`` / ``n_fresh`` / ``n_retained``; ``degraded_estimates``
+      +1 when ``degraded`` is true.
+    * ``walk`` span → ``walks_retried`` += ``attempts`` - 1;
+      ``walks_failed`` +1 when ``outcome == "failed"``.
+    * span-less ``fault`` event → ``faults_injected`` +1.
+    """
+
+    def __init__(self, metrics: "RunMetrics") -> None:
+        self.metrics = metrics
+
+    def on_span_end(self, span: Span) -> None:
+        metrics = self.metrics
+        if span.name == "snapshot_query":
+            metrics.snapshot_queries += 1
+            metrics.samples_total += _as_int(span.attrs.get("n_total"))
+            metrics.samples_fresh += _as_int(span.attrs.get("n_fresh"))
+            metrics.samples_retained += _as_int(span.attrs.get("n_retained"))
+            if bool(span.attrs.get("degraded", False)):
+                metrics.degraded_estimates += 1
+        elif span.name == "walk":
+            attempts = _as_int(span.attrs.get("attempts"), default=1)
+            metrics.walks_retried += max(0, attempts - 1)
+            if span.attrs.get("outcome") == "failed":
+                metrics.walks_failed += 1
+
+    def on_event(self, event: TraceEvent) -> None:
+        if event.name == "fault":
+            self.metrics.faults_injected += 1
+
+
+class RegistrySink:
+    """Maintains live span/event counters and sim-duration histograms."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        duration_buckets: tuple[float, ...] = DEFAULT_DURATION_BUCKETS,
+    ) -> None:
+        self.registry = registry
+        self._buckets = duration_buckets
+
+    def on_span_end(self, span: Span) -> None:
+        self.registry.counter(f"spans.{span.name}").inc()
+        for event in span.events:
+            self.registry.counter(f"events.{event.name}").inc()
+        self.registry.histogram(
+            f"span_duration.{span.name}", self._buckets
+        ).observe(float(span.duration))
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.registry.counter(f"events.{event.name}").inc()
+
+
+def bridge_fault_log(log: "FaultLog", tracer: Tracer) -> None:
+    """Mirror every :class:`~repro.network.faults.FaultEvent` as a trace event.
+
+    Subscribes to the log keyed by the tracer's identity, so bridging the
+    same log to the same tracer twice (e.g. a fault plan shared between an
+    operator and a protocol sampler) records each fault once.
+    """
+    if not tracer.enabled:
+        return
+
+    def forward(event: "FaultEvent") -> None:
+        tracer.event(
+            "fault",
+            time=event.time,
+            kind=event.kind,
+            walker_id=event.walker_id,
+            node=event.node,
+            detail=event.detail,
+        )
+
+    log.subscribe(forward, key=f"obs-tracer-{id(tracer)}")

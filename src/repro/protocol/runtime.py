@@ -46,6 +46,7 @@ from repro.network.churn import ChurnEvent
 from repro.network.faults import FaultLog, FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, Span, Tracer, bridge_fault_log
 from repro.protocol.messages import SampleReturn, WalkToken
 from repro.sampling.weights import WeightFunction
 from repro.sim.engine import Event, SimulationEngine
@@ -155,6 +156,7 @@ class _WalkState:
     done: bool = False
     failed: bool = False
     timeout_event: Event | None = field(default=None, repr=False)
+    span: Span = field(default_factory=lambda: NULL_SPAN, repr=False)
 
     @property
     def finished(self) -> bool:
@@ -179,6 +181,7 @@ class ProtocolSampler:
         config: ProtocolConfig | None = None,
         faults: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if not graph.is_connected():
             raise TopologyError("the protocol needs a connected overlay")
@@ -190,10 +193,14 @@ class ProtocolSampler:
         self._config = config if config is not None else ProtocolConfig()
         self._faults = faults
         self._retry = retry
+        #: walk/message telemetry; the default no-op tracer keeps the
+        #: per-hop handlers allocation-free when tracing is disabled
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         #: audit trail of everything that went wrong (shared with the
         #: fault plan's log when one is injected, so crash/loss events and
         #: protocol-observed failures interleave in one timeline)
         self.fault_log: FaultLog = faults.log if faults is not None else FaultLog()
+        bridge_fault_log(self.fault_log, self._tracer)
         self._outcomes: dict[int, _WalkOutcome] = {}
         self._states: dict[int, _WalkState] = {}
         self._next_walker = 0
@@ -221,6 +228,13 @@ class ProtocolSampler:
     ) -> None:
         self.ledger.record_control(1, label="weight_advertisement")
         self.advertisements_sent += 1
+        if self._tracer.enabled:
+            self._tracer.event(
+                "advertisement",
+                time=self._simulation.now,
+                to_node=to_node,
+                source=source,
+            )
         self._cached_weights.setdefault(to_node, {})[source] = weight
 
     def notify_weight_change(self, node: int) -> None:
@@ -288,6 +302,13 @@ class ProtocolSampler:
         state = _WalkState(
             walker_id=walker_id, origin=origin, walk_length=walk_length
         )
+        state.span = self._tracer.span(
+            "walk",
+            time=self._simulation.now,
+            walker_id=walker_id,
+            origin=origin,
+            walk_length=walk_length,
+        )
         self._states[walker_id] = state
         self._launch_attempt(state)
         return walker_id
@@ -296,6 +317,10 @@ class ProtocolSampler:
         """Begin the next attempt of a walk: arm the timeout, inject token."""
         state.attempt += 1
         attempt = state.attempt
+        if attempt > 1:
+            state.span.add_event(
+                self._simulation.now, "retry", attempt=attempt
+            )
         if self._retry is not None:
             state.timeout_event = self._simulation.schedule_in(
                 self._retry.timeout_for(attempt),
@@ -323,6 +348,7 @@ class ProtocolSampler:
         if state.finished or attempt != state.attempt:
             return  # superseded or already resolved; stale timer
         state.timeouts += 1
+        state.span.add_event(self._simulation.now, "timeout", attempt=attempt)
         self.fault_log.record(
             self._simulation.now,
             "walk_timeout",
@@ -347,6 +373,13 @@ class ProtocolSampler:
             walker_id=state.walker_id,
             detail=reason,
         )
+        self._tracer.end(
+            state.span,
+            time=self._simulation.now,
+            outcome="failed",
+            attempts=state.attempt,
+            reason=reason,
+        )
 
     def _complete_walk(self, state: _WalkState, sampled_node: int) -> None:
         """A sample made it back to the origin; release the supervisor."""
@@ -359,6 +392,13 @@ class ProtocolSampler:
             sampled_node=sampled_node,
             completed_at=self._simulation.now,
             attempts=state.attempt,
+        )
+        self._tracer.end(
+            state.span,
+            time=self._simulation.now,
+            outcome="completed",
+            attempts=state.attempt,
+            sampled_node=sampled_node,
         )
 
     def run_walks(
@@ -450,6 +490,17 @@ class ProtocolSampler:
         never exceptions.
         """
         self._record_traffic(attempt, kind)
+        if self._tracer.enabled:
+            state = self._states.get(walker_id)
+            if state is not None:
+                # mirrors _record_traffic's ledger bucketing exactly, so
+                # trace attribution and the ledger cannot disagree
+                state.span.add_event(
+                    self._simulation.now,
+                    "message",
+                    category="retry" if attempt > 1 else kind,
+                    to_node=to_node,
+                )
         faults = self._faults
         if faults is not None and faults.message_lost():
             self.fault_log.record(
@@ -495,8 +546,16 @@ class ProtocolSampler:
         attempt: int,
     ) -> None:
         """The node holding the token decides one chain transition."""
-        if self._current_state(walker_id, attempt) is None:
+        state = self._current_state(walker_id, attempt)
+        if state is None:
             return  # superseded attempt or finished walk: drop the token
+        if self._tracer.enabled:
+            state.span.add_event(
+                self._simulation.now,
+                "hop",
+                node=node,
+                steps_remaining=steps_remaining,
+            )
         if node not in self._graph:
             self.fault_log.record(
                 self._simulation.now,
@@ -560,6 +619,16 @@ class ProtocolSampler:
             # an unannounced join or leave-rewiring): probe the neighbor
             # on demand — one request + one reply — instead of dying
             self.ledger.record_control(2, label="weight_probe")
+            if self._tracer.enabled:
+                probing = self._states.get(walker_id)
+                if probing is not None:
+                    probing.span.add_event(
+                        self._simulation.now,
+                        "probe",
+                        node=node,
+                        target=target,
+                        messages=2,
+                    )
             self.fault_log.record(
                 self._simulation.now,
                 "advertisement_cache_miss",

@@ -40,6 +40,7 @@ from repro.errors import SamplingError
 from repro.network.faults import FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
+from repro.obs.tracer import NULL_TRACER, Tracer, bridge_fault_log
 from repro.sampling import mixing
 from repro.sampling.walker import WalkContext, batch_walk
 from repro.sampling.weights import WeightFunction, content_size_weights
@@ -147,12 +148,16 @@ class SamplingOperator:
         ledger: MessageLedger | None = None,
         config: SamplerConfig | None = None,
         faults: FaultPlan | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._graph = graph
         self._rng = rng
         self._ledger = ledger
         self._config = config if config is not None else SamplerConfig()
         self._faults = faults
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        if faults is not None:
+            bridge_fault_log(faults.log, self._tracer)
         self._spectral = _SpectralCache()
         self._pool_nodes: list[int] = []  # continued-walk positions (node ids)
         self.samples_drawn = 0
@@ -190,42 +195,51 @@ class SamplingOperator:
             > config.recompute_drift * cache.n_nodes
         )
         if drifted:
-            matrix = mixing.sparse_transition_matrix(
-                context.offsets, context.targets, context.weights, config.laziness
-            )
-            gap = mixing.eigengap_sparse(matrix)
-            if gap <= 0.0:
-                raise SamplingError(
-                    "zero eigengap: the walk cannot converge on this overlay"
-                )
-            if config.length_policy == "theorem3":
-                positive = context.weights[context.weights > 0]
-                p_min = float(positive.min() / context.weights.sum())
-                mix_length = mixing.mixing_time_bound(gap, p_min, config.gamma)
-            else:
-                mix_length = self._empirical_mix_length(
-                    matrix, context, origin, config.gamma
-                )
-            if mix_length > config.max_walk_length:
-                raise SamplingError(
-                    f"required walk length {mix_length} exceeds the configured "
-                    f"maximum {config.max_walk_length}"
-                )
-            reset_length = (
-                config.reset_length
-                if config.reset_length is not None
-                else mixing.relaxation_time(gap)
-            )
-            self._spectral = _SpectralCache(
-                n_nodes=context.n_nodes,
-                origin=origin,
-                gap=gap,
-                mix_length=mix_length,
-                reset_length=reset_length,
-                valid=True,
-            )
+            # the eigengap + mixing-length computation is the host-side
+            # hot spot of abstract-mode runs; keep it under one profiled
+            # section so `repro trace` output can show its wall cost
+            with self._tracer.profile("spectral_recompute"):
+                self._recompute_spectral(context, origin)
             cache = self._spectral
         return cache.mix_length, cache.reset_length
+
+    def _recompute_spectral(self, context: WalkContext, origin: int) -> None:
+        """Refresh the spectral cache for the current overlay snapshot."""
+        config = self._config
+        matrix = mixing.sparse_transition_matrix(
+            context.offsets, context.targets, context.weights, config.laziness
+        )
+        gap = mixing.eigengap_sparse(matrix)
+        if gap <= 0.0:
+            raise SamplingError(
+                "zero eigengap: the walk cannot converge on this overlay"
+            )
+        if config.length_policy == "theorem3":
+            positive = context.weights[context.weights > 0]
+            p_min = float(positive.min() / context.weights.sum())
+            mix_length = mixing.mixing_time_bound(gap, p_min, config.gamma)
+        else:
+            mix_length = self._empirical_mix_length(
+                matrix, context, origin, config.gamma
+            )
+        if mix_length > config.max_walk_length:
+            raise SamplingError(
+                f"required walk length {mix_length} exceeds the configured "
+                f"maximum {config.max_walk_length}"
+            )
+        reset_length = (
+            config.reset_length
+            if config.reset_length is not None
+            else mixing.relaxation_time(gap)
+        )
+        self._spectral = _SpectralCache(
+            n_nodes=context.n_nodes,
+            origin=origin,
+            gap=gap,
+            mix_length=mix_length,
+            reset_length=reset_length,
+            valid=True,
+        )
 
     def _empirical_mix_length(
         self,
@@ -286,6 +300,9 @@ class SamplingOperator:
             return []
         if origin not in self._graph:
             raise SamplingError(f"origin node {origin} is not in the overlay")
+        span = self._tracer.span(
+            "sample_acquisition", n_requested=n, origin=origin
+        )
         context = WalkContext.from_graph(self._graph, weight)
         mix_length, reset_length = self._walk_lengths(context, origin)
         config = self._config
@@ -349,6 +366,16 @@ class SamplingOperator:
                 continue
             delivered.append(node)
         self.samples_drawn += len(delivered)
+        # retained-vs-fresh tagging: continued agents only paid the reset
+        # length; fresh agents paid the full mixing length from the origin
+        self._tracer.end(
+            span,
+            n_continued=len(continued),
+            n_fresh=n_fresh,
+            mix_length=mix_length,
+            reset_length=reset_length,
+            n_delivered=len(delivered),
+        )
         return delivered
 
     # ------------------------------------------------------------------
@@ -376,11 +403,14 @@ class SamplingOperator:
         if database.n_tuples == 0:
             raise SamplingError("cannot sample tuples from an empty relation")
         weight = content_size_weights(database)
+        span = self._tracer.span("tuple_sampling", n_requested=n, origin=origin)
         samples: list[TupleSample] = []
+        rounds = 0
         need = n
         for _ in range(max_retries):
             if need == 0:
                 break
+            rounds += 1
             for node in self.sample_nodes(weight, need, origin):
                 store = database.store(node)
                 if len(store) == 0:
@@ -398,11 +428,15 @@ class SamplingOperator:
                         "sample_shortfall",
                         detail=f"{len(samples)} of {n} after {max_retries} rounds",
                     )
+                self._tracer.end(
+                    span, n_drawn=len(samples), rounds=rounds, partial=True
+                )
                 return samples
             raise SamplingError(
                 f"failed to draw {n} tuples after {max_retries} rounds "
                 f"({len(samples)} drawn); is the relation mostly empty?"
             )
+        self._tracer.end(span, n_drawn=len(samples), rounds=rounds, partial=False)
         return samples
 
     def cluster_sample(

@@ -1,0 +1,66 @@
+"""Tests for wall-clock section profiling (repro.obs.profile)."""
+
+import pytest
+
+from repro.obs.profile import WallClockProfiler
+
+
+class TestWallClockProfiler:
+    def test_section_accumulates_calls_and_time(self):
+        profiler = WallClockProfiler()
+        for _ in range(3):
+            with profiler.section("work"):
+                pass
+        stats = profiler.stats("work")
+        assert stats.calls == 3
+        assert stats.total_ns >= 0
+        assert stats.mean_ns == stats.total_ns / 3
+
+    def test_distinct_sections_may_nest(self):
+        profiler = WallClockProfiler()
+        with profiler.section("outer"):
+            with profiler.section("inner"):
+                pass
+        assert profiler.stats("outer").calls == 1
+        assert profiler.stats("inner").calls == 1
+
+    def test_same_name_reentry_raises(self):
+        profiler = WallClockProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.section("work"):
+                with profiler.section("work"):
+                    pass
+        # the failed inner entry must not wedge the section open: the
+        # outer with booked one call on unwind, this books the second
+        with profiler.section("work"):
+            pass
+        assert profiler.stats("work").calls == 2
+
+    def test_section_closes_on_exception(self):
+        profiler = WallClockProfiler()
+        with pytest.raises(KeyError):
+            with profiler.section("work"):
+                raise KeyError("boom")
+        assert profiler.stats("work").calls == 1
+
+    def test_unknown_section_raises(self):
+        with pytest.raises(KeyError):
+            WallClockProfiler().stats("never")
+
+    def test_report_orders_hottest_first(self):
+        profiler = WallClockProfiler()
+        with profiler.section("cheap"):
+            pass
+        with profiler.section("hot"):
+            sum(range(20000))
+        report = profiler.report()
+        assert set(report) == {"cheap", "hot"}
+        assert list(report)[0] == "hot"
+        for entry in report.values():
+            assert set(entry) == {"calls", "total_ms", "mean_us"}
+
+    def test_empty_stats_mean_raises(self):
+        from repro.obs.profile import SectionStats
+
+        with pytest.raises(ValueError):
+            SectionStats("x").mean_ns

@@ -1,0 +1,102 @@
+"""Tests for the deterministic metric instruments (repro.obs.registry)."""
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("x")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_bucketing_is_upper_bound_inclusive(self):
+        histogram = Histogram("h", (1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 5.0, 5.1):
+            histogram.observe(value)
+        # v lands in the first bucket with v <= bound; > last bound
+        # overflows into the implicit final bucket
+        assert histogram.counts == [2, 2, 1, 1]
+        assert histogram.count == 6
+
+    def test_mean_is_exact_without_per_sample_storage(self):
+        histogram = Histogram("h", (10.0,))
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        assert histogram.mean() == 1.5
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1.0,)).mean()
+
+    def test_boundaries_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_bucket_labels_cover_every_bucket(self):
+        histogram = Histogram("h", (1.0, 5.0))
+        labels = histogram.bucket_labels()
+        assert labels == ["<= 1", "(1, 5]", "> 5"]
+        assert len(labels) == len(histogram.counts)
+
+    def test_identical_observations_produce_identical_state(self):
+        # determinism: two histograms fed the same stream are equal in
+        # every exported field (the trace round-trip relies on this)
+        values = [0.0, 1.0, 3.0, 7.0, 2000.0]
+        a = Histogram("h", DEFAULT_DURATION_BUCKETS)
+        b = Histogram("h", DEFAULT_DURATION_BUCKETS)
+        for value in values:
+            a.observe(value)
+            b.observe(value)
+        assert (a.counts, a.count, a.total) == (b.counts, b.count, b.total)
+
+
+class TestMetricsRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_histogram_boundary_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", (1.0, 3.0))
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h", (1.0,)).observe(3.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["histograms"]["h"]["counts"] == [0, 1]
+        json.dumps(snapshot)  # must not raise

@@ -46,3 +46,33 @@ def test_missing_results_dir_errors(collector, tmp_path, monkeypatch):
     module, _ = collector
     monkeypatch.setattr(module, "RESULTS_DIR", tmp_path / "nope")
     assert module.main() == 1
+
+
+def test_folds_trace_attribution_into_results(collector):
+    from repro.obs.export import export_trace
+    from repro.obs.tracer import RecordingTracer
+
+    module, results = collector
+    (results / "fig4a.txt").write_text("FIG4A TABLE\n")
+    tracer = RecordingTracer(meta={"experiment": "unit"})
+    walk = tracer.span("walk", time=0)
+    tracer.event("message", time=0, span=walk, category="walk")
+    tracer.end(walk, time=3, outcome="completed", attempts=1)
+    export_trace(tracer.trace(), results / "fault_smoke.jsonl")
+    module.main()
+    output = module.OUTPUT.read_text()
+    assert "## Trace cost attribution" in output
+    assert "fault_smoke" in output
+    import json
+
+    folded = json.loads((results / "trace_attribution.json").read_text())
+    assert folded["fault_smoke"]["message_attribution"]["walk_steps"] == 1
+    assert folded["fault_smoke"]["walk_outcomes"] == {"completed": 1}
+
+
+def test_no_traces_writes_no_attribution(collector):
+    module, results = collector
+    (results / "fig4a.txt").write_text("FIG4A TABLE\n")
+    module.main()
+    assert "Trace cost attribution" not in module.OUTPUT.read_text()
+    assert not (results / "trace_attribution.json").exists()

@@ -328,6 +328,49 @@ class TestHandlerRaises:
 
 
 # ----------------------------------------------------------------------
+# DGL007 -- no print() in src/repro/
+# ----------------------------------------------------------------------
+
+
+class TestNoPrint:
+    PATH = "src/repro/experiments/snippet.py"
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            'print("hello")\n',
+            "def main() -> int:\n    print(1, 2, sep=',')\n    return 0\n",
+            'import builtins\nbuiltins.print("x")\n',
+            # file= does not excuse it: redirection goes through emit()
+            'import sys\nprint("x", file=sys.stderr)\n',
+        ],
+    )
+    def test_flags_print_calls(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == ["DGL007"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # the sanctioned chokepoint
+            'from repro.obs.console import emit\nemit("hello")\n',
+            # a method named print on some object is not builtins.print
+            'def f(doc: object) -> None:\n    doc.print("x")\n',
+            # an explicitly imported print is a deliberate rebinding
+            "from repro.obs.console import emit as print\nprint()\n",
+            # mentioning print in a docstring is not a call
+            '"""Example::\n\n    print(engine.result)\n"""\n',
+        ],
+    )
+    def test_allows_emit_and_non_builtin_print(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == []
+
+    def test_only_repro_paths_are_in_scope(self) -> None:
+        # tools/ and benchmarks/ are harness-side; they may print
+        assert codes('print("x")\n', "tools/somewhere/snippet.py") == []
+        assert codes('print("x")\n', self.PATH) == ["DGL007"]
+
+
+# ----------------------------------------------------------------------
 # engine behavior: noqa, select, errors
 # ----------------------------------------------------------------------
 
@@ -395,6 +438,7 @@ class TestEngine:
             "DGL004",
             "DGL005",
             "DGL006",
+            "DGL007",
         ]
         for rule in ALL_RULES:
             assert rule.summary and rule.rationale
@@ -434,6 +478,7 @@ class TestCli:
                 "protocol",
                 "def _handle_x(m: object) -> None:\n    raise ValueError(m)\n",
             ),
+            "DGL007": ("repro", 'print("hi")\n'),
         }
         for code, (scope, source) in fixtures.items():
             scoped = tmp_path / code / scope

@@ -1,4 +1,4 @@
-"""The five digest-lint rules.
+"""The digest-lint rules (DGL001-DGL007).
 
 Each rule is a small AST pass. Rules are scoped by path (``applies_to``)
 so the same engine lints ``src/`` in CI and known-bad fixtures in the test
@@ -486,6 +486,49 @@ class HandlerRaises(Rule):
             stack.extend(ast.iter_child_nodes(node))
 
 
+# ----------------------------------------------------------------------
+# DGL007 -- no print() in src/repro/
+# ----------------------------------------------------------------------
+
+
+class NoPrint(Rule):
+    code = "DGL007"
+    name = "no-print"
+    summary = (
+        "no print() inside src/repro/; report through "
+        "repro.obs.console.emit, the tracer/metrics, or returned structures"
+    )
+    rationale = (
+        "print() is output the telemetry layer cannot see: it bypasses the "
+        "trace, cannot be attributed to a span or counter, and is "
+        "unredirectable by a harness embedding the package. "
+        "repro.obs.console.emit is the one sanctioned stdout chokepoint "
+        "(resolved per call, so capture still works); measurements belong "
+        "on RunMetrics, spans, or the structures experiments return."
+    )
+
+    def applies_to(self, path_parts: tuple[str, ...]) -> bool:
+        return "repro" in path_parts
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        imports = _import_map(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                hit = func.id == "print" and func.id not in imports
+            else:
+                hit = _resolve(func, imports) == "builtins.print"
+            if hit:
+                yield self._finding(
+                    path,
+                    node,
+                    "print() in src/repro/; use repro.obs.console.emit "
+                    "(or record on the tracer/metrics) instead",
+                )
+
+
 #: Registry in code order; the runner and ``--list-rules`` both use it.
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -494,6 +537,7 @@ ALL_RULES: tuple[Rule, ...] = (
     FloatEquality(),
     MissingAnnotations(),
     HandlerRaises(),
+    NoPrint(),
 )
 
 RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,41 @@
+"""Standalone entry point for telemetry-trace analysis.
+
+The analysis library itself lives in :mod:`repro.obs.analysis` (so the
+CLI inside ``src/repro`` can import it — ``src/repro`` must never import
+from ``tools/``); this package is the thin out-of-tree wrapper for people
+working from a checkout::
+
+    PYTHONPATH=src python -m tools.trace_analysis summarize --input run.jsonl
+    PYTHONPATH=src python -m tools.trace_analysis attribute --input run.jsonl --json
+    PYTHONPATH=src python -m tools.trace_analysis flame --input run.jsonl
+
+which is equivalent to ``repro-digest trace <subcommand> ...``.
+"""
+
+from repro.obs.analysis import (
+    COUNTER_FIELDS,
+    counter_dict,
+    degraded_timeline,
+    fault_timeline,
+    folded_stacks,
+    message_attribution,
+    run_metrics_from_trace,
+    trigger_breakdown,
+    verify_trace_consistency,
+    walk_latency_histogram,
+    walk_outcomes,
+)
+
+__all__ = [
+    "COUNTER_FIELDS",
+    "counter_dict",
+    "degraded_timeline",
+    "fault_timeline",
+    "folded_stacks",
+    "message_attribution",
+    "run_metrics_from_trace",
+    "trigger_breakdown",
+    "verify_trace_consistency",
+    "walk_latency_histogram",
+    "walk_outcomes",
+]

@@ -1,0 +1,10 @@
+"""``python -m tools.trace_analysis <summarize|attribute|flame> ...``"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["trace", *sys.argv[1:]]))
