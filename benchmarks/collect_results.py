@@ -23,6 +23,7 @@ from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 OUTPUT = Path(__file__).parent.parent / "RESULTS.md"
+MULTI_QUERY_JSON = Path(__file__).parent.parent / "BENCH_multi_query.json"
 
 SECTIONS: list[tuple[str, list[str]]] = [
     (
@@ -51,6 +52,7 @@ SECTIONS: list[tuple[str, list[str]]] = [
     (
         "Extensions",
         [
+            "multi_query",
             "analysis_improvement",
             "forward_rho0.5",
             "forward_rho0.85",
@@ -169,6 +171,27 @@ def render_attribution(folded: dict[str, dict[str, object]]) -> str:
     return "\n".join(lines)
 
 
+def emit_multi_query_json() -> bool:
+    """Promote the multi-query bench payload to ``BENCH_multi_query.json``.
+
+    The bench (or the CI smoke run via ``python -m
+    repro.experiments.multi_query --json-out``) writes
+    ``benchmarks/results/multi_query.json`` with messages per query under
+    both regimes, the pool hit rate, and wall-clock; this copies it to the
+    repo root under the name CI uploads as an artifact. Returns whether
+    the payload existed.
+    """
+    source = RESULTS_DIR / "multi_query.json"
+    if not source.exists():
+        return False
+    payload = json.loads(source.read_text())
+    MULTI_QUERY_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {MULTI_QUERY_JSON}")
+    return True
+
+
 def main() -> int:
     if not RESULTS_DIR.exists():
         print(
@@ -177,6 +200,7 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+    emit_multi_query_json()
     output = collect()
     folded = collect_trace_attribution()
     if folded:

@@ -46,10 +46,12 @@ from repro.core import (
     ContinuousQuery,
     DigestEngine,
     DigestNode,
+    DigestSession,
     EngineConfig,
     IndependentEvaluator,
     Precision,
     Query,
+    QuerySet,
     RepeatedEvaluator,
     RunningResult,
     TaylorExtrapolator,
@@ -83,7 +85,7 @@ from repro.network import (
     random_topology,
     small_world_topology,
 )
-from repro.sampling import SamplerConfig, SamplingOperator
+from repro.sampling import SamplePool, SamplerConfig, SamplingOperator
 
 __version__ = "1.0.0"
 
@@ -95,6 +97,7 @@ __all__ = [
     "DigestEngine",
     "DigestError",
     "DigestNode",
+    "DigestSession",
     "EngineConfig",
     "Expression",
     "ExpressionError",
@@ -110,8 +113,10 @@ __all__ = [
     "PushAllBaseline",
     "Query",
     "QueryError",
+    "QuerySet",
     "RepeatedEvaluator",
     "RunningResult",
+    "SamplePool",
     "SamplerConfig",
     "SamplingError",
     "SamplingOperator",

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     repro-digest experiment <name> [--scale S] [--seed N]
         Run a named paper experiment (fig4a, fig4b, fig5a, fig5b, table1,
@@ -12,6 +12,10 @@ Three subcommands::
         [--evaluator repeated|independent]
         Run an ad-hoc continuous query against a synthetic workload and
         print each result update.
+
+    repro-digest queryset --spec queries.json [--steps T] [--scale S] [...]
+        Run several continuous queries in one shared multi-query session
+        (pooled samples, coalesced walk batches) from a JSON spec file.
 
     repro-digest trace record --output trace.jsonl [--dataset ...] [...]
     repro-digest trace replay --input trace.jsonl --query "..."  [...]
@@ -25,10 +29,14 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.obs.console import emit
+
+if TYPE_CHECKING:
+    from repro.core.session import QuerySet
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -77,9 +85,22 @@ def _build_parser() -> argparse.ArgumentParser:
             "occasion_drift",
             "protocol",
             "fault_tolerance",
+            "multi_query",
         ),
     )
     _add_common(experiment)
+
+    queryset = commands.add_parser(
+        "queryset",
+        help="run a set of continuous queries in one shared session",
+    )
+    queryset.add_argument(
+        "--spec",
+        required=True,
+        help="JSON file declaring the query set (see docs/TUTORIAL.md)",
+    )
+    queryset.add_argument("--steps", type=int, default=None)
+    _add_common(queryset)
 
     query = commands.add_parser("query", help="run an ad-hoc continuous query")
     query.add_argument(
@@ -207,6 +228,18 @@ def _run_experiment(args: argparse.Namespace) -> int:
             else fault_tolerance.FaultSweepConfig()
         )
         emit(fault_tolerance.run(config, seed=args.seed).to_table())
+    elif name == "multi_query":
+        from repro.experiments import multi_query
+
+        result = multi_query.run(
+            dataset=args.dataset, scale=args.scale, seed=args.seed
+        )
+        emit(result.to_table())
+        emit(
+            f"\n{result.n_queries} co-resident queries pay "
+            f"{result.message_savings:.0%} fewer messages per query than "
+            f"independent engines"
+        )
     return 0
 
 
@@ -219,6 +252,114 @@ def _default_precision(
     if epsilon is None:
         epsilon = 0.25 * sigma
     return delta, epsilon
+
+
+def load_query_set(
+    path: str, default_delta: float, default_epsilon: float
+) -> QuerySet:
+    """Build a :class:`~repro.core.session.QuerySet` from a JSON spec file.
+
+    The spec is ``{"queries": [{...}, ...]}`` where each entry takes
+    ``query`` (required, the SQL-ish text) and optionally ``id``,
+    ``delta``, ``epsilon``, ``confidence``, ``scheduler``, ``evaluator``,
+    ``start`` and ``duration``. Omitted precision fields fall back to the
+    workload-derived defaults, mirroring the single-query command.
+    """
+    import json
+
+    from repro.core.engine import EngineConfig
+    from repro.core.query import ContinuousQuery, Precision, parse_query
+    from repro.core.session import QuerySet
+    from repro.db.aggregates import AggregateOp
+    from repro.errors import QueryError
+
+    with open(path, encoding="utf-8") as handle:
+        spec = json.load(handle)
+    entries = spec.get("queries")
+    if not isinstance(entries, list) or not entries:
+        raise QueryError(
+            f"{path}: expected a non-empty 'queries' list in the spec"
+        )
+    queries = QuerySet()
+    for entry in entries:
+        if "query" not in entry:
+            raise QueryError(f"{path}: every entry needs a 'query' string")
+        query = parse_query(entry["query"])
+        evaluator = entry.get("evaluator", "repeated")
+        if (
+            evaluator == "repeated"
+            and query.op is AggregateOp.AVG
+            and query.predicate is not None
+        ):
+            evaluator = "independent"  # filtered AVG needs the ratio estimator
+        continuous = ContinuousQuery(
+            query,
+            Precision(
+                delta=float(entry.get("delta", default_delta)),
+                epsilon=float(entry.get("epsilon", default_epsilon)),
+                confidence=float(entry.get("confidence", 0.95)),
+            ),
+            start_time=int(entry.get("start", 0)),
+            duration=(
+                int(entry["duration"]) if "duration" in entry else None
+            ),
+        )
+        queries.add(
+            continuous,
+            config=EngineConfig(
+                scheduler=entry.get("scheduler", "pred"),
+                evaluator=evaluator,
+            ),
+            query_id=entry.get("id"),
+        )
+    return queries
+
+
+def _run_query_set(args: argparse.Namespace) -> int:
+    from repro.core.session import DigestSession
+    from repro.experiments.harness import build_instance, pick_origin
+
+    instance = build_instance(args.dataset, args.scale, args.seed)
+    steps = args.steps if args.steps is not None else instance.n_steps
+    delta, epsilon = _default_precision(instance, None, None)
+    queries = load_query_set(args.spec, delta, epsilon)
+    origin = pick_origin(instance, args.seed)
+    session = DigestSession(
+        instance.graph,
+        instance.database,
+        origin,
+        np.random.default_rng(args.seed + 1),
+    )
+    qids = session.add_query_set(queries)
+    emit(f"running {len(qids)} queries in one session:")
+    for qid in qids:
+        emit(f"  [{qid}] {session.runtime(qid).continuous_query}")
+    emit(f"workload: {args.dataset} (scale {args.scale}), {steps} steps\n")
+    for t in range(steps):
+        instance.step(t)
+        executed = session.step(t)
+        for qid in qids:
+            estimate = executed.get(qid)
+            if estimate is not None:
+                emit(
+                    f"t={t:4d}  [{qid}] estimate={estimate.aggregate:12.3f}  "
+                    f"samples={estimate.n_total:4d} "
+                    f"(fresh {estimate.n_fresh:4d})"
+                )
+    pool = session.pool
+    served = pool.pool_hits + pool.pool_misses
+    hit_rate = pool.pool_hits / served if served else 0.0
+    emit(
+        f"\n{session.metrics.snapshot_queries} snapshot queries across "
+        f"{len(qids)} queries, {session.metrics.samples_total} samples, "
+        f"{session.ledger.total} messages"
+    )
+    emit(
+        f"pool: {pool.pool_hits} hits / {pool.pool_misses} misses "
+        f"({hit_rate:.1%} hit rate), "
+        f"{session.batches_coalesced} coalesced walk batches"
+    )
+    return 0
 
 
 def _run_query(args: argparse.Namespace) -> int:
@@ -309,6 +450,17 @@ def _summarize_trace(args: argparse.Namespace) -> int:
         emit("\nsnapshot-query triggers:")
         for reason, count in triggers.items():
             emit(f"  {reason:16s} {count:8d}")
+
+    shared = analysis.shared_walk_attribution(trace)
+    if shared:
+        emit("\nshared-walk attribution (per query):")
+        for query_id, stats in sorted(shared.items()):
+            emit(
+                f"  {query_id:12s} pool_hits={stats['pool_hits']:6d}  "
+                f"pool_misses={stats['pool_misses']:6d}  "
+                f"batches={stats['shared_batches']:4d}  "
+                f"walks={stats['walks']:6d}"
+            )
 
     degraded = analysis.degraded_timeline(trace)
     emit(f"\ndegraded estimates: {len(degraded)}")
@@ -424,6 +576,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_experiment(args)
         if args.command == "query":
             return _run_query(args)
+        if args.command == "queryset":
+            return _run_query_set(args)
         return _run_trace(args)
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe; exit

@@ -12,8 +12,11 @@
   ``PRED-k``.
 * :mod:`repro.core.result` — the running result ``X_hat[t]`` with hold
   semantics.
+* :mod:`repro.core.session` — :class:`~repro.core.session.DigestSession`,
+  many queries sharing one sampling substrate (pool + coalesced walks).
 * :mod:`repro.core.engine` — :class:`~repro.core.engine.DigestEngine`, the
-  two tiers composed into the full system.
+  two tiers composed into the full system (single-query facade over a
+  session).
 """
 
 from repro.core.engine import DigestEngine, EngineConfig
@@ -30,7 +33,14 @@ from repro.core.node import DigestNode, SharedSampleSource
 from repro.core.query import ContinuousQuery, Precision, Query, parse_query
 from repro.core.repeated import RepeatedEvaluator, optimal_partition
 from repro.core.result import NotificationFilter, RunningResult, UpdateRecord
-from repro.core.scheduler import ContinuousScheduler, ExtrapolationScheduler
+from repro.core.scheduler import (
+    ContinuousScheduler,
+    ExtrapolationScheduler,
+    WalkBatchPlan,
+    WalkDemand,
+    coalesce_demands,
+)
+from repro.core.session import DigestSession, QueryRuntime, QuerySet, QuerySpec
 from repro.core.threshold import ThresholdEvent, ThresholdMonitor, ThresholdState
 
 __all__ = [
@@ -38,12 +48,16 @@ __all__ = [
     "ContinuousScheduler",
     "DigestEngine",
     "DigestNode",
+    "DigestSession",
     "EngineConfig",
     "ExtrapolationScheduler",
     "IndependentEvaluator",
     "NotificationFilter",
     "Precision",
     "Query",
+    "QueryRuntime",
+    "QuerySet",
+    "QuerySpec",
     "RepeatedEvaluator",
     "RevisedEstimate",
     "RunningResult",
@@ -53,6 +67,9 @@ __all__ = [
     "ThresholdMonitor",
     "ThresholdState",
     "UpdateRecord",
+    "WalkBatchPlan",
+    "WalkDemand",
+    "coalesce_demands",
     "confidence_quantile",
     "optimal_partition",
     "parse_query",

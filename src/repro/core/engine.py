@@ -17,67 +17,35 @@ PRED-k + RPT   ``"pred"`` (k points)   ``"repeated"``  (= Digest)
 
 Drive the engine either step-by-step (``engine.step(t)`` from your own
 loop) or by attaching it to a :class:`~repro.sim.engine.SimulationEngine`.
+
+Since the multi-query refactor this class is a facade over a single-query
+:class:`~repro.core.session.DigestSession` — same public surface, same
+seed-for-seed results (a session with one query never coalesces walk
+batches, and a cold pool passes requests straight through to the
+operator). Register several queries on one session directly when you want
+them to share walks; :class:`~repro.core.session.EngineConfig` also lives
+there and is re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
-from repro.core.independent import EvaluatorConfig, IndependentEvaluator
 from repro.core.query import ContinuousQuery
-from repro.core.repeated import RepeatedEvaluator
 from repro.core.result import NotificationFilter, RunningResult, UpdateRecord
-from repro.core.scheduler import ContinuousScheduler, ExtrapolationScheduler
+from repro.core.session import DigestSession, EngineConfig
 from repro.core.snapshot import SnapshotEstimate
 from repro.db.relation import P2PDatabase
-from repro.errors import QueryError
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
-from repro.obs.tracer import RunMetricsSink, SinkTracer
-from repro.sampling.operator import SamplerConfig, SamplingOperator
+from repro.obs.tracer import SinkTracer
+from repro.sampling.operator import SamplerConfig, SampleSource
 from repro.sim.engine import PRIORITY_QUERY, SimulationEngine
 from repro.sim.metrics import RunMetrics
 
-
-@dataclass(frozen=True)
-class EngineConfig:
-    """Algorithm selection and tuning for one engine instance.
-
-    ``scheduler`` is ``"all"`` or ``"pred"``; ``pred_points`` is the ``k``
-    of PRED-k. ``evaluator`` is ``"independent"`` or ``"repeated"``.
-    ``oracle_population=True`` uses the database's true tuple count to
-    scale SUM/COUNT (the experiments' setting); ``False`` estimates it by
-    capture-recapture sampling each occasion.
-
-    ``forward_revision=True`` (repeated evaluator only) retrospectively
-    amends each result update once the next occasion's data allows a
-    forward-regression revision (the paper's Section VIII extension; see
-    :mod:`repro.core.forward`).
-    """
-
-    scheduler: str = "pred"
-    evaluator: str = "repeated"
-    pred_points: int = 3
-    period: int = 1
-    max_horizon: int = 64
-    safety_factor: float = 1.0
-    oracle_population: bool = True
-    forward_revision: bool = False
-    evaluator_config: EvaluatorConfig | None = None
-
-    def __post_init__(self) -> None:
-        if self.scheduler not in ("all", "pred"):
-            raise QueryError(
-                f"scheduler must be 'all' or 'pred', got {self.scheduler!r}"
-            )
-        if self.evaluator not in ("independent", "repeated"):
-            raise QueryError(
-                f"evaluator must be 'independent' or 'repeated', "
-                f"got {self.evaluator!r}"
-            )
+__all__ = ["DigestEngine", "EngineConfig"]
 
 
 class DigestEngine:
@@ -93,10 +61,10 @@ class DigestEngine:
         ledger: MessageLedger | None = None,
         sampler_config: SamplerConfig | None = None,
         config: EngineConfig | None = None,
-        operator: SamplingOperator | None = None,
+        operator: SampleSource | None = None,
         tracer: SinkTracer | None = None,
     ) -> None:
-        """``operator`` lets several engines share one sampling operator
+        """``operator`` lets several engines share one sampling substrate
         (continued-walk pool, spectral cache, per-occasion sample reuse) —
         see :class:`repro.core.node.DigestNode`. When given, ``ledger``
         should be the ledger that operator records on.
@@ -106,89 +74,59 @@ class DigestEngine:
         :class:`~repro.obs.tracer.RunMetricsSink` feeding :attr:`metrics`
         is always attached, whether the tracer was passed in or the
         engine created its own."""
-        if origin not in graph:
-            raise QueryError(f"querying node {origin} is not in the overlay")
-        database.schema.validate_expression(continuous_query.query.expression)
-        if continuous_query.query.predicate is not None:
-            database.schema.validate_predicate(continuous_query.query.predicate)
-        self._graph = graph
-        self._database = database
-        self._cq = continuous_query
-        self._origin = origin
-        self._config = config if config is not None else EngineConfig()
-        self.ledger = ledger if ledger is not None else MessageLedger()
-        self.metrics = RunMetrics()
-        self.result = RunningResult()
-        self.tracer = tracer if tracer is not None else SinkTracer()
-        self.tracer.add_sink(RunMetricsSink(self.metrics))
-        self._next_trigger = "bootstrap"
-        if operator is not None:
-            self.operator = operator
-        else:
-            self.operator = SamplingOperator(
-                graph, rng, self.ledger, sampler_config, tracer=self.tracer
-            )
+        self._session = DigestSession(
+            graph,
+            database,
+            origin,
+            rng,
+            ledger=ledger,
+            sampler_config=sampler_config,
+            tracer=tracer,
+        )
+        self._injected_operator = operator
+        self._qid = self._session.add_query(
+            continuous_query, config=config, operator=operator
+        )
+        self._runtime = self._session.runtime(self._qid)
+        self.ledger = self._session.ledger
+        self.tracer = self._session.tracer
 
-        population_provider = None
-        if not self._config.oracle_population:
-            from repro.sampling.size_estimation import estimate_relation_size
+    @property
+    def metrics(self) -> RunMetrics:
+        return self._session.metrics
 
-            def population_provider() -> float:
-                return estimate_relation_size(
-                    self.operator, self._database, self._origin
-                )
+    @property
+    def result(self) -> RunningResult:
+        return self._runtime.result
 
-        if self._config.evaluator == "independent":
-            self._evaluator = IndependentEvaluator(
-                database,
-                self.operator,
-                origin,
-                continuous_query.query,
-                population_size_provider=population_provider,
-                config=self._config.evaluator_config,
-            )
-        else:
-            self._evaluator = RepeatedEvaluator(
-                database,
-                self.operator,
-                origin,
-                continuous_query.query,
-                rng,
-                population_size_provider=population_provider,
-                config=self._config.evaluator_config,
-            )
+    @property
+    def operator(self) -> SampleSource:
+        """The sampling substrate the query draws from (injected or owned)."""
+        if self._injected_operator is not None:
+            return self._injected_operator
+        return self._session.pool.operator
 
-        precision = continuous_query.precision
-        if self._config.scheduler == "all":
-            self._scheduler = ContinuousScheduler(period=self._config.period)
-        else:
-            self._scheduler = ExtrapolationScheduler(
-                delta=precision.delta,
-                n_points=self._config.pred_points,
-                period=self._config.period,
-                max_horizon=self._config.max_horizon,
-                safety_factor=self._config.safety_factor,
-            )
-        self._next_due = continuous_query.start_time
-        self._history: list[tuple[int, float]] = []
-        self._subscriptions: list[NotificationFilter] = []
+    @property
+    def session(self) -> DigestSession:
+        """The underlying single-query session (for pool/trace access)."""
+        return self._session
 
     @property
     def config(self) -> EngineConfig:
-        return self._config
+        return self._runtime.config
 
     @property
     def continuous_query(self) -> ContinuousQuery:
-        return self._cq
+        return self._runtime.continuous_query
 
     @property
     def next_due(self) -> int:
         """Time of the next scheduled snapshot query."""
-        return self._next_due
+        return self._runtime.next_due
 
     def current_estimate(self, time: int) -> float:
         """The running result under hold semantics."""
-        return self.result.value_at(time)
+        return self._runtime.result.value_at(time)
 
     def subscribe(
         self,
@@ -201,10 +139,7 @@ class DigestEngine:
         paper's intended user experience. The filter fires on the first
         result and then only when the estimate has moved by >= delta.
         """
-        threshold = delta if delta is not None else self._cq.precision.delta
-        subscription = NotificationFilter(threshold, callback)
-        self._subscriptions.append(subscription)
-        return subscription
+        return self._session.subscribe(self._qid, callback, delta=delta)
 
     # ------------------------------------------------------------------
     # execution
@@ -217,56 +152,15 @@ class DigestEngine:
         may be sparse (callers need only call at due times, but calling on
         every step is equally correct).
         """
-        if not self._cq.active_at(time) or time < self._next_due:
-            return None
-        precision = self._cq.precision
-        span = self.tracer.span(
-            "snapshot_query", time=time, trigger=self._next_trigger
-        )
-        with self.tracer.profile("snapshot_evaluate"):
-            estimate = self._evaluator.evaluate(
-                time, precision.epsilon, precision.confidence
+        executed = self._session.step(time)
+        estimate = executed.get(self._qid)
+        if estimate is not None:
+            # mirror the per-query series onto the engine-level metrics,
+            # where single-query callers have always read them
+            self.metrics.series("estimate").record(time, estimate.aggregate)
+            self.metrics.series("samples_per_query").record(
+                time, estimate.n_total
             )
-        if (
-            self._config.forward_revision
-            and isinstance(self._evaluator, RepeatedEvaluator)
-            and self._evaluator.last_revision is not None
-            and self._history
-        ):
-            revision = self._evaluator.last_revision
-            previous_time = self._history[-1][0]
-            scale = (
-                estimate.aggregate / estimate.mean
-                if estimate.mean not in (0.0,)
-                else 1.0
-            )
-            self.result.amend(previous_time, revision.revised * scale)
-        record = UpdateRecord(
-            time=time,
-            estimate=estimate.aggregate,
-            n_samples=estimate.n_total,
-            n_fresh=estimate.n_fresh,
-        )
-        self.result.update(record)
-        for subscription in self._subscriptions:
-            subscription.offer(record)
-        self._history.append((time, estimate.aggregate))
-        # counters (snapshot_queries, samples_*, degraded_estimates) are
-        # derived from this span by the RunMetricsSink — the same code
-        # path a replayed trace goes through, so they cannot drift apart.
-        self.tracer.end(
-            span,
-            time=time,
-            aggregate=estimate.aggregate,
-            n_total=estimate.n_total,
-            n_fresh=estimate.n_fresh,
-            n_retained=estimate.n_retained,
-            degraded=estimate.degraded,
-        )
-        self.metrics.series("estimate").record(time, estimate.aggregate)
-        self.metrics.series("samples_per_query").record(time, estimate.n_total)
-        self._next_due = self._scheduler.next_time(self._history, time)
-        self._next_trigger = self._scheduler.last_decision
         return estimate
 
     def attach(self, simulation: SimulationEngine) -> None:
@@ -279,9 +173,9 @@ class DigestEngine:
 
         def run(time: int) -> None:
             self.step(time)
-            end = self._cq.end_time
-            if end is None or self._next_due <= end:
-                simulation.schedule_at(self._next_due, run, PRIORITY_QUERY)
+            end = self.continuous_query.end_time
+            if end is None or self.next_due <= end:
+                simulation.schedule_at(self.next_due, run, PRIORITY_QUERY)
 
-        start = max(self._cq.start_time, simulation.now)
+        start = max(self.continuous_query.start_time, simulation.now)
         simulation.schedule_at(start, run, PRIORITY_QUERY)

@@ -34,7 +34,7 @@ from repro.db.aggregates import (
 )
 from repro.db.relation import P2PDatabase
 from repro.errors import QueryError
-from repro.sampling.operator import SamplingOperator
+from repro.sampling.operator import SampleSource
 
 
 @dataclass(frozen=True)
@@ -77,7 +77,7 @@ class IndependentEvaluator:
     def __init__(
         self,
         database: P2PDatabase,
-        operator: SamplingOperator,
+        operator: SampleSource,
         origin: int,
         query: Query,
         population_size_provider: Callable[[], float] | None = None,
@@ -93,10 +93,36 @@ class IndependentEvaluator:
             else lambda: database.n_tuples
         )
         self._config = config if config is not None else EvaluatorConfig()
+        self._last_sigma: float | None = None
 
     @property
     def config(self) -> EvaluatorConfig:
         return self._config
+
+    def plan_demand(self, epsilon: float, confidence: float) -> int:
+        """Forecast how many fresh samples the next evaluate() will draw.
+
+        Pure read (no sampling, no state change): before the first
+        occasion there is no sigma estimate, so the forecast is the pilot
+        size; afterwards it is Eq. 6 sized from the last occasion's sigma.
+        The session uses this to size coalesced prefetch batches — a wrong
+        forecast only shifts the pool hit/miss split, never correctness,
+        because evaluate() still tops up sequentially.
+        """
+        config = self._config
+        if self._last_sigma is None:
+            return config.pilot_size
+        population = int(round(self._population_size_provider()))
+        epsilon_mean = mean_error_budget(self._query.op, epsilon, population)
+        if epsilon_mean == float("inf"):
+            return config.pilot_size
+        return required_sample_size(
+            self._last_sigma,
+            epsilon_mean,
+            confidence,
+            minimum=config.pilot_size,
+            maximum=config.max_sample_size,
+        )
 
     def _sample_values(self, n: int) -> tuple[np.ndarray, np.ndarray]:
         """Draw up to ``n`` samples; returns ``(y, indicator)`` arrays.
@@ -198,6 +224,9 @@ class IndependentEvaluator:
             values = np.concatenate([values, extra])
         mean, variance = sample_mean_and_variance(values)
         degraded = values.size < needed
+        self._last_sigma = max(
+            float(np.sqrt(variance)), config.sigma_floor
+        )
         return mean, variance / values.size, int(values.size), degraded
 
     def _evaluate_ratio(
@@ -255,5 +284,10 @@ class IndependentEvaluator:
         assert estimate is not None and variance is not None
         degraded = epsilon_mean != float("inf") and variance > variance_target(
             epsilon_mean, confidence
+        )
+        # per-sample sigma equivalent of the ratio estimator's variance
+        # rate, so plan_demand can forecast via the same Eq. 6 sizing
+        self._last_sigma = max(
+            float(np.sqrt(variance * values.size)), config.sigma_floor
         )
         return estimate, variance, int(values.size), degraded

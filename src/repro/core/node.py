@@ -4,16 +4,24 @@ The paper's architecture (Section III, Figure 2) has each node operate its
 own Digest instance answering "the continuous queries received from the
 local user" — plural. :class:`DigestNode` is that per-peer instance:
 
-* one shared :class:`~repro.sampling.operator.SamplingOperator` serves all
+* one shared :class:`~repro.sampling.pool.SamplePool` (owning the
+  :class:`~repro.sampling.operator.SamplingOperator`) serves all
   registered queries, so the continued-walk pool and the spectral
   walk-length cache amortize across them;
 * with ``share_samples=True``, queries evaluated at the same time step
-  additionally *reuse tuple samples*: samples are i.i.d. uniform tuples,
-  so a sample drawn for one query is a perfectly valid sample for another
-  query at the same occasion. Each query's ``(epsilon, p)`` guarantee
-  holds marginally; estimates of co-scheduled queries become correlated
-  with each other, which is harmless for the per-query semantics and is
-  the price of paying for each sample once instead of once per query.
+  additionally *reuse tuple samples* through the pool's per-consumer
+  cursors: samples are i.i.d. uniform tuples, so a sample drawn for one
+  query is a perfectly valid sample for another query at the same
+  occasion — and the cursor guarantees no query is ever served the same
+  draw twice, keeping each query's own sample i.i.d. Each query's
+  ``(epsilon, p)`` guarantee holds marginally; estimates of co-scheduled
+  queries become correlated with each other, which is harmless for the
+  per-query semantics and is the price of paying for each sample once
+  instead of once per query.
+
+:class:`SharedSampleSource` is the historical per-occasion cache the node
+used before the pool existed; it is kept as a lightweight standalone
+adapter (the pool supersedes it for node wiring).
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from repro.sampling.operator import (
     SamplingOperator,
     TupleSample,
 )
+from repro.sampling.pool import SamplePool
 from repro.sampling.weights import WeightFunction
 from repro.sim.engine import PRIORITY_QUERY, SimulationEngine
 
@@ -110,13 +119,8 @@ class DigestNode:
         self._origin = origin
         self._rng = rng
         self.ledger = ledger if ledger is not None else MessageLedger()
-        self._operator = SamplingOperator(
-            graph, rng, self.ledger, sampler_config
-        )
+        self.pool = SamplePool(graph, rng, self.ledger, sampler_config)
         self._share_samples = share_samples
-        self._shared_source = (
-            SharedSampleSource(self._operator) if share_samples else None
-        )
         self._queries: dict[int, _RegisteredQuery] = {}
         self._next_id = 0
 
@@ -126,11 +130,7 @@ class DigestNode:
 
     @property
     def operator(self) -> SamplingOperator:
-        return self._operator
-
-    @property
-    def shared_source(self) -> SharedSampleSource | None:
-        return self._shared_source
+        return self.pool.operator
 
     def query_ids(self) -> list[int]:
         return sorted(self._queries)
@@ -145,8 +145,11 @@ class DigestNode:
         config: EngineConfig | None = None,
     ) -> int:
         """Register a continuous query; returns its query id."""
+        query_id = self._next_id
         operator = (
-            self._shared_source if self._shared_source is not None else self._operator
+            self.pool.lease(f"q{query_id}")
+            if self._share_samples
+            else self.pool.operator
         )
         engine = DigestEngine(
             self._graph,
@@ -158,7 +161,6 @@ class DigestNode:
             config=config,
             operator=operator,
         )
-        query_id = self._next_id
         self._next_id += 1
         self._queries[query_id] = _RegisteredQuery(engine, continuous_query)
         return query_id
@@ -188,8 +190,7 @@ class DigestNode:
         snapshot this step (queries whose scheduler skipped the step are
         absent).
         """
-        if self._shared_source is not None:
-            self._shared_source.begin_occasion(time)
+        self.pool.begin_epoch(time)
         executed: dict[int, SnapshotEstimate] = {}
         for query_id in sorted(self._queries):
             estimate = self._queries[query_id].engine.step(time)
@@ -214,7 +215,5 @@ class DigestNode:
         return sum(q.engine.metrics.samples_fresh for q in self._queries.values())
 
     def samples_saved_by_sharing(self) -> int:
-        """Samples served from the shared per-occasion cache."""
-        if self._shared_source is None:
-            return 0
-        return self._shared_source.samples_served_from_cache
+        """Samples served from the shared pool instead of drawn fresh."""
+        return self.pool.pool_hits

@@ -62,7 +62,7 @@ from repro.db.aggregates import (
 )
 from repro.db.relation import P2PDatabase
 from repro.errors import QueryError
-from repro.sampling.operator import SamplingOperator
+from repro.sampling.operator import SampleSource
 
 _RHO_CLIP = 0.999
 
@@ -230,7 +230,7 @@ class RepeatedEvaluator:
     def __init__(
         self,
         database: P2PDatabase,
-        operator: SamplingOperator,
+        operator: SampleSource,
         origin: int,
         query: Query,
         rng: np.random.Generator,
@@ -278,6 +278,46 @@ class RepeatedEvaluator:
         """Forget all occasion state (next evaluate() bootstraps again)."""
         self._state = _OccasionState()
         self.last_revision = None
+
+    def plan_demand(self, epsilon: float, confidence: float) -> int:
+        """Forecast the *fresh* samples the next evaluate() will draw.
+
+        Pure read: replays the allocation evaluate() will solve — the
+        cheapest ``(n, g)`` partition meeting the variance target given
+        the current sigma/rho state and the still-alive retainable pool —
+        and returns its fresh portion ``n - g`` (retained samples cost no
+        walks). Infeasible targets fall back to the pilot size; the
+        forecast only sizes prefetch batches, evaluate() still tops up.
+        """
+        config = self._config
+        if not self._state.initialized:
+            return config.pilot_size
+        state = self._state
+        population = int(round(self._population_size_provider()))
+        epsilon_mean = mean_error_budget(self._query.op, epsilon, population)
+        sigma2 = max(state.sigma2, config.sigma_floor**2)
+        rho_plan = state.rho if state.rho is not None else self._initial_rho
+        alive = sum(1 for tid in state.tuple_ids if tid in self._database)
+        if epsilon_mean == float("inf"):
+            return max(
+                0, config.pilot_size - min(alive, config.pilot_size // 2)
+            )
+        v_target = variance_target(epsilon_mean, confidence)
+        try:
+            n_needed, g_target = solve_allocation(
+                sigma2,
+                rho_plan,
+                state.variance,
+                v_target,
+                retained_available=alive,
+                min_n=config.pilot_size,
+                max_n=config.max_sample_size,
+            )
+        except QueryError:
+            return config.pilot_size
+        if state.rho is None:
+            g_target = min(alive, n_needed // 2)
+        return max(0, n_needed - g_target)
 
     # ------------------------------------------------------------------
     # sampling helpers

@@ -20,6 +20,10 @@ a ``main()`` that prints the same series the paper plots:
   size (Theorem 4 and the measured messages-per-sample).
 * :mod:`repro.experiments.ablations` — design-choice ablations called
   out in DESIGN.md.
+* :mod:`repro.experiments.multi_query` — shared multi-query session vs
+  independent engines: messages per query, pool hit rate, per-query
+  ``(epsilon, p)`` coverage (the amortization of Section III's shared
+  operator).
 """
 
 from repro.experiments.harness import (

@@ -27,7 +27,8 @@ from repro.network.topology import mesh_topology, power_law_topology, ring_topol
 from repro.obs.console import emit
 from repro.sampling.metropolis import metropolis_matrix
 from repro.sampling.mixing import total_variation
-from repro.sampling.operator import SamplerConfig, SamplingOperator
+from repro.sampling.operator import SamplerConfig
+from repro.sampling.pool import SamplePool
 from repro.sampling.weights import uniform_weights
 from repro.core.repeated import combined_variance, optimal_partition
 
@@ -120,12 +121,12 @@ def continued_walk_ablation(
             for _ in range(1 + int(gen.integers(0, 4))):
                 database.insert(node, {"v": float(gen.normal(0, 1))})
         ledger = MessageLedger()
-        operator = SamplingOperator(
+        operator = SamplePool(
             graph,
             np.random.default_rng(seed + 2),
             ledger,
             SamplerConfig(continued_walks=continued),
-        )
+        ).operator
         total = 0
         for _ in range(occasions):
             operator.sample_tuples(database, n_samples, origin=0)
@@ -188,16 +189,16 @@ def cluster_sampling_ablation(
     truth = float(database.exact_values(Expression("v")).mean())
     errors = {"two_stage": [], "cluster": []}
     for trial in range(trials):
-        operator = SamplingOperator(
+        operator = SamplePool(
             graph, np.random.default_rng(seed + 10 + trial)
-        )
+        ).operator
         samples = operator.sample_tuples(database, budget, origin=0)
         estimate = float(np.mean([s.row["v"] for s in samples]))
         errors["two_stage"].append((estimate - truth) ** 2)
 
-        operator_c = SamplingOperator(
+        operator_c = SamplePool(
             graph, np.random.default_rng(seed + 5000 + trial)
-        )
+        ).operator
         values: list[float] = []
         while len(values) < budget:
             _, batch = operator_c.cluster_sample(database, origin=0)
@@ -320,11 +321,11 @@ def importance_sampling_ablation(
     errors = {"metropolis": [], "importance": []}
     sizes = []
     for trial in range(trials):
-        operator = SamplingOperator(
+        operator = SamplePool(
             graph,
             np.random.default_rng(seed + 100 + trial),
-            config=SamplerConfig(continued_walks=False),
-        )
+            sampler_config=SamplerConfig(continued_walks=False),
+        ).operator
         samples = operator.sample_tuples(database, budget, origin=0)
         estimate = float(np.mean([s.row["v"] for s in samples]))
         errors["metropolis"].append((estimate - truth) ** 2)

@@ -28,7 +28,8 @@ from repro.network.topology import power_law_topology
 from repro.obs.console import emit
 from repro.sampling.metropolis import stationary_distribution
 from repro.sampling.mixing import total_variation
-from repro.sampling.operator import SamplerConfig, SamplingOperator
+from repro.sampling.operator import SamplerConfig
+from repro.sampling.pool import SamplePool
 from repro.sampling.weights import content_size_weights
 from repro.db.relation import P2PDatabase, Schema
 
@@ -115,11 +116,11 @@ def run(
             rng,
             protected={0},
         )
-        operator = SamplingOperator(
+        operator = SamplePool(
             graph,
             np.random.default_rng(seed + 1),
-            config=SamplerConfig(gamma=0.02, recompute_drift=0.02),
-        )
+            sampler_config=SamplerConfig(gamma=0.02, recompute_drift=0.02),
+        ).operator
 
         # --- (1) distributional correctness of node sampling ------------
         tvs = []
@@ -163,11 +164,11 @@ def run(
         )
         evaluator = RepeatedEvaluator(
             database2,
-            SamplingOperator(
+            SamplePool(
                 graph2,
                 np.random.default_rng(seed + 3),
-                config=SamplerConfig(recompute_drift=0.02),
-            ),
+                sampler_config=SamplerConfig(recompute_drift=0.02),
+            ).operator,
             0,
             parse_query("SELECT AVG(v) FROM R"),
             np.random.default_rng(seed + 4),

@@ -26,7 +26,8 @@ from repro.network.messaging import MessageLedger
 from repro.network.topology import mesh_topology, power_law_topology
 from repro.obs.console import emit
 from repro.sampling import mixing as mixing_mod
-from repro.sampling.operator import SamplerConfig, SamplingOperator
+from repro.sampling.operator import SamplerConfig
+from repro.sampling.pool import SamplePool
 from repro.sampling.walker import WalkContext
 from repro.sampling.weights import content_size_weights
 
@@ -124,9 +125,9 @@ def measure(
 
     rng = np.random.default_rng(seed + 1)
     ledger = MessageLedger()
-    operator = SamplingOperator(
-        graph, rng, ledger, config=SamplerConfig(gamma=gamma)
-    )
+    operator = SamplePool(
+        graph, rng, ledger, SamplerConfig(gamma=gamma)
+    ).operator
     operator.sample_tuples(database, n_samples, origin=0)
     per_sample = ledger.total / n_samples
     return MixingRow(

@@ -31,7 +31,8 @@ import numpy as np
 
 from repro.experiments.report import format_table
 from repro.obs.console import emit
-from repro.sampling.operator import SamplerConfig, SamplingOperator
+from repro.sampling.operator import SamplerConfig
+from repro.sampling.pool import SamplePool
 
 if TYPE_CHECKING:
     from repro.db.relation import P2PDatabase
@@ -132,9 +133,9 @@ def run(
     for window in windows:
         rng = np.random.default_rng(seed)
         graph, database, tuple_ids = _drifting_world(n_nodes, 4, rng)
-        operator = SamplingOperator(
-            graph, np.random.default_rng(seed + window), config=SamplerConfig()
-        )
+        operator = SamplePool(
+            graph, np.random.default_rng(seed + window)
+        ).operator
         naive_errors = []
         detrended_errors = []
         drifts = []

@@ -35,6 +35,8 @@ COUNTER_FIELDS = (
     "walks_failed",
     "faults_injected",
     "degraded_estimates",
+    "pool_hits",
+    "pool_misses",
 )
 
 
@@ -125,6 +127,52 @@ def message_attribution(trace: Trace) -> dict[str, int]:
         + attribution["control"]
     )
     return attribution
+
+
+def shared_walk_attribution(trace: Trace) -> dict[str, dict[str, int]]:
+    """Per-query accounting of pool serving and coalesced walk batches.
+
+    Every ``pool_serve`` span names its consuming query; every
+    ``shared_walk_batch`` span (and, in protocol mode, every ``walk`` span
+    launched by a batch) carries the comma-joined ids of *all* its
+    consumers. This reconstructs, per query id: how many pooled samples it
+    reused (``pool_hits``), how many fresh draws it triggered
+    (``pool_misses``), how many coalesced batches it consumed from
+    (``shared_batches``) with how many delivered samples
+    (``batch_samples``), and how many attributed protocol walks served it
+    (``walks``) — the per-query view of costs that the shared substrate
+    pays only once.
+    """
+    per_query: dict[str, dict[str, int]] = {}
+
+    def entry(query_id: str) -> dict[str, int]:
+        return per_query.setdefault(
+            query_id,
+            {
+                "pool_hits": 0,
+                "pool_misses": 0,
+                "shared_batches": 0,
+                "batch_samples": 0,
+                "walks": 0,
+            },
+        )
+
+    for span in trace.spans_named("pool_serve"):
+        consumer = str(span.attrs.get("consumer", "?"))
+        record = entry(consumer)
+        record["pool_hits"] += _as_int(span.attrs.get("n_hit"))
+        record["pool_misses"] += _as_int(span.attrs.get("n_miss"))
+    for span in trace.spans_named("shared_walk_batch"):
+        consumers = str(span.attrs.get("consumers", ""))
+        for query_id in filter(None, consumers.split(",")):
+            record = entry(query_id)
+            record["shared_batches"] += 1
+            record["batch_samples"] += _as_int(span.attrs.get("n_drawn"))
+    for span in trace.spans_named("walk"):
+        consumers = str(span.attrs.get("consumers", ""))
+        for query_id in filter(None, consumers.split(",")):
+            entry(query_id)["walks"] += 1
+    return dict(sorted(per_query.items()))
 
 
 def walk_latency_histogram(

@@ -356,6 +356,8 @@ class RunMetricsSink:
       +1 when ``degraded`` is true.
     * ``walk`` span → ``walks_retried`` += ``attempts`` - 1;
       ``walks_failed`` +1 when ``outcome == "failed"``.
+    * ``pool_serve`` span → ``pool_hits`` += ``n_hit``;
+      ``pool_misses`` += ``n_miss`` (shared-sample-pool reuse accounting).
     * span-less ``fault`` event → ``faults_injected`` +1.
     """
 
@@ -376,6 +378,9 @@ class RunMetricsSink:
             metrics.walks_retried += max(0, attempts - 1)
             if span.attrs.get("outcome") == "failed":
                 metrics.walks_failed += 1
+        elif span.name == "pool_serve":
+            metrics.pool_hits += _as_int(span.attrs.get("n_hit"))
+            metrics.pool_misses += _as_int(span.attrs.get("n_miss"))
 
     def on_event(self, event: TraceEvent) -> None:
         if event.name == "fault":

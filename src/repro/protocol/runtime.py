@@ -37,7 +37,7 @@ piggyback on the walk.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
@@ -50,6 +50,9 @@ from repro.obs.tracer import NULL_SPAN, NULL_TRACER, Span, Tracer, bridge_fault_
 from repro.protocol.messages import SampleReturn, WalkToken
 from repro.sampling.weights import WeightFunction
 from repro.sim.engine import Event, SimulationEngine
+
+if TYPE_CHECKING:  # pragma: no cover - layering: protocol stays core-free
+    from repro.core.scheduler import WalkBatchPlan
 
 VARIANTS = ("bounce", "cached")
 
@@ -440,6 +443,71 @@ class ProtocolSampler:
             for w in walker_ids
             if w in self._outcomes
         ]
+
+    def run_walk_batch(
+        self,
+        origin: int,
+        plan: "WalkBatchPlan",
+        walk_length: int,
+        allow_partial: bool = False,
+        deadline: int | None = None,
+    ) -> dict[str, list[int]]:
+        """Run one coalesced walk batch and slice it per consuming query.
+
+        Launches ``plan.n_walks`` supervised walks (the maximum demand
+        across the plan's queries — retries, faults, and ledger accounting
+        identical to :meth:`run_walks`) and returns, for each query, the
+        first ``n_q`` delivered sample nodes, so consumers overlap
+        maximally and the batch is paid for once. Every walk's trace span
+        carries the ids of the queries consuming it (``consumers``), which
+        is how per-query attribution survives the sharing.
+        """
+        batch_span = self._tracer.span(
+            "shared_walk_batch",
+            time=self._simulation.now,
+            n_requested=plan.n_walks,
+            n_pooled=0,
+            consumers=",".join(plan.consumers),
+            n_consumers=len(plan.demands),
+            origin=origin,
+        )
+        walker_ids = []
+        for index in range(plan.n_walks):
+            walker_id = self.start_walk(origin, walk_length)
+            consumers = plan.consumers_of(index)
+            self._states[walker_id].span.set(
+                consumers=",".join(consumers), n_consumers=len(consumers)
+            )
+            walker_ids.append(walker_id)
+        if deadline is None:
+            self._simulation.run_all()
+        else:
+            self._simulation.run_until(self._simulation.now + deadline)
+            for walker_id in walker_ids:
+                state = self._states[walker_id]
+                if not state.finished:
+                    self._fail_walk(state, "deadline_expired")
+        delivered = [
+            self._outcomes[w].sampled_node
+            for w in walker_ids
+            if w in self._outcomes
+        ]
+        missing = plan.n_walks - len(delivered)
+        if missing and not allow_partial:
+            raise SamplingError(
+                f"{missing} of {plan.n_walks} batched walks never completed "
+                f"(faults: {self.fault_log.summary()}); pass "
+                f"allow_partial=True to degrade instead"
+            )
+        self._tracer.end(
+            batch_span,
+            time=self._simulation.now,
+            n_drawn=len(delivered),
+        )
+        return {
+            demand.query: delivered[: demand.n_samples]
+            for demand in plan.demands
+        }
 
     def outcome(self, walker_id: int) -> _WalkOutcome | None:
         return self._outcomes.get(walker_id)

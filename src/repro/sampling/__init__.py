@@ -17,6 +17,9 @@ Modules
   mixing-time bound (Theorems 1-4).
 * :mod:`repro.sampling.operator` — the sampling operator ``S``: batch mode,
   continued walks with reset time, two-stage and cluster tuple sampling.
+* :mod:`repro.sampling.pool` — the shared sample pool between queries and
+  the operator: freshness epochs, per-consumer reuse cursors, coalesced
+  prefetch batches (the multi-query amortization layer).
 * :mod:`repro.sampling.size_estimation` — capture-recapture estimators for
   network and relation size (needed by SUM/COUNT without an oracle).
 """
@@ -28,7 +31,13 @@ from repro.sampling.mixing import (
     mixing_time_bound,
     total_variation,
 )
-from repro.sampling.operator import SamplerConfig, SamplingOperator, TupleSample
+from repro.sampling.operator import (
+    SamplerConfig,
+    SampleSource,
+    SamplingOperator,
+    TupleSample,
+)
+from repro.sampling.pool import PoolConfig, PooledSample, PoolLease, SamplePool
 from repro.sampling.size_estimation import (
     estimate_network_size,
     estimate_relation_size,
@@ -42,7 +51,12 @@ from repro.sampling.weights import (
 
 __all__ = [
     "MetropolisWalker",
+    "PoolConfig",
+    "PoolLease",
+    "PooledSample",
+    "SamplePool",
     "SamplerConfig",
+    "SampleSource",
     "SamplingOperator",
     "TupleSample",
     "content_size_weights",

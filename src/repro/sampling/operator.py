@@ -32,6 +32,7 @@ the paper uses to expedite its experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
@@ -103,6 +104,34 @@ class TupleSample:
     tuple_id: int
     node: int
     row: dict[str, float]
+
+
+class SampleSource(Protocol):
+    """The slice of the sampling substrate evaluators consume.
+
+    Implemented by :class:`SamplingOperator` itself, by
+    :class:`~repro.sampling.pool.PoolLease` (a query's handle on the
+    shared :class:`~repro.sampling.pool.SamplePool`), and by
+    :class:`~repro.core.node.SharedSampleSource` — anything that can
+    deliver uniform tuple samples and weighted node samples.
+    """
+
+    def sample_tuples(
+        self,
+        database: P2PDatabase,
+        n: int,
+        origin: int,
+        max_retries: int = 8,
+        allow_partial: bool = False,
+    ) -> list[TupleSample]:
+        """Draw ``n`` uniformly random tuples (partial under faults)."""
+        ...
+
+    def sample_nodes(
+        self, weight: WeightFunction, n: int, origin: int
+    ) -> list[int]:
+        """Draw ``n`` node ids with probability proportional to weight."""
+        ...
 
 
 @dataclass

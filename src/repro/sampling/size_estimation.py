@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.db.relation import P2PDatabase
 from repro.errors import SamplingError
-from repro.sampling.operator import SamplingOperator
+from repro.sampling.operator import SampleSource
 from repro.sampling.weights import uniform_weights
 
 
@@ -70,7 +70,7 @@ def chapman_variance(marked: int, recaptured_from: int, recaptures: int) -> floa
 
 
 def estimate_network_size(
-    operator: SamplingOperator,
+    operator: SampleSource,
     origin: int,
     phase_size: int = 64,
 ) -> float:
@@ -88,7 +88,7 @@ def estimate_network_size(
 
 
 def estimate_relation_size(
-    operator: SamplingOperator,
+    operator: SampleSource,
     database: P2PDatabase,
     origin: int,
     phase_size: int = 64,

@@ -87,6 +87,12 @@ class RunMetrics:
         Fault events recorded during the run (losses, crashes, ...).
     degraded_estimates:
         Snapshot estimates returned with ``degraded=True``.
+    pool_hits:
+        Samples served to a query from the shared sample pool (walks the
+        multi-query session did not have to pay for again).
+    pool_misses:
+        Pool requests that fell through to fresh walks (the marginal
+        ``n_required - n_pooled`` draws).
     """
 
     snapshot_queries: int = 0
@@ -97,6 +103,8 @@ class RunMetrics:
     walks_failed: int = 0
     faults_injected: int = 0
     degraded_estimates: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
     _series: dict[str, MetricSeries] = field(default_factory=dict)
 
     def series(self, name: str) -> MetricSeries:
@@ -130,6 +138,8 @@ class RunMetrics:
         self.walks_failed += other.walks_failed
         self.faults_injected += other.faults_injected
         self.degraded_estimates += other.degraded_estimates
+        self.pool_hits += other.pool_hits
+        self.pool_misses += other.pool_misses
         for name, series in other._series.items():
             if len(series) == 0:
                 continue

@@ -289,3 +289,129 @@ class TestRepeatedEvaluator:
             RepeatedEvaluator(
                 database, operator, 0, query, np.random.default_rng(0), initial_rho=2.0
             )
+
+
+class TestDegenerateOccasions:
+    def test_all_fresh_when_no_sample_survives(self):
+        """g=0: the whole retained pool died; falls back to the regular
+        (all-fresh) estimate without dividing by zero."""
+        graph, database, tids, rng = _correlated_world()
+        _, repeated = _make_evaluators(graph, database)
+        repeated.evaluate(0, epsilon=2.0, confidence=0.95)
+        # kill exactly the evaluator's sample-set; replace the rows so the
+        # relation itself stays populated and samplable
+        for tid in set(repeated._state.tuple_ids):
+            if tid in database:
+                database.delete(tid)
+        for node in graph.nodes():
+            database.insert(node, {"v": float(rng.normal(50, 10))})
+        estimate = repeated.evaluate(1, epsilon=2.0, confidence=0.95)
+        assert estimate.n_retained == 0
+        assert estimate.n_fresh == estimate.n_total > 0
+        truth = float(database.exact_values(Expression("v")).mean())
+        assert abs(estimate.mean - truth) < 5.0
+
+    def test_combine_all_retained_uses_regression_only(self):
+        """f=0: no fresh draws; the combination is the regression estimate
+        alone (no division by the zero fresh count)."""
+        graph, database, tids, rng = _correlated_world()
+        _, repeated = _make_evaluators(graph, database)
+        matched_prev = np.array([48.0, 50.0, 52.0, 49.0, 51.0])
+        matched_curr = matched_prev * 0.9 + 5.0  # perfectly correlated
+        estimate, variance, rho, sigma2 = repeated._combine(
+            matched_prev,
+            matched_curr,
+            np.array([]),
+            prev_estimate=50.0,
+            prev_variance=0.5,
+        )
+        assert math.isfinite(estimate) and math.isfinite(variance)
+        assert variance > 0
+        # perfect correlation, clipped to the working range
+        assert rho == pytest.approx(0.999)
+        # regression estimate: curr_mean + b * (prev_est - prev_mean);
+        # prev mean == prev estimate == 50, so it is just the current mean
+        assert estimate == pytest.approx(float(matched_curr.mean()))
+
+    def test_combine_all_retained_small_g_uses_matched_mean(self):
+        """f=0 with g<3: too few pairs for a regression; falls back to the
+        plain matched mean."""
+        graph, database, tids, rng = _correlated_world()
+        _, repeated = _make_evaluators(graph, database)
+        matched_prev = np.array([48.0, 52.0])
+        matched_curr = np.array([47.0, 53.0])
+        estimate, variance, rho, _ = repeated._combine(
+            matched_prev,
+            matched_curr,
+            np.array([]),
+            prev_estimate=50.0,
+            prev_variance=0.5,
+        )
+        assert rho is None
+        assert estimate == pytest.approx(50.0)
+        assert math.isfinite(variance) and variance > 0
+
+    def test_combine_zero_samples_rejected(self):
+        graph, database, tids, rng = _correlated_world()
+        _, repeated = _make_evaluators(graph, database)
+        with pytest.raises(QueryError):
+            repeated._combine(
+                np.array([]), np.array([]), np.array([]), 50.0, 0.5
+            )
+
+    def test_constant_previous_values_fall_back_to_matched_mean(self):
+        """Zero variance among the retained previous values: regression is
+        undefined (b = cov/0); falls back to the matched mean, combined
+        with the fresh portion."""
+        graph, database, tids, rng = _correlated_world()
+        _, repeated = _make_evaluators(graph, database)
+        matched_prev = np.full(5, 50.0)
+        matched_curr = np.array([49.0, 50.0, 51.0, 50.0, 50.0])
+        fresh = np.array([48.0, 52.0, 50.0])
+        estimate, variance, rho, _ = repeated._combine(
+            matched_prev, matched_curr, fresh, 50.0, 0.5
+        )
+        assert rho is None
+        assert math.isfinite(estimate) and math.isfinite(variance)
+
+
+class TestPlanDemand:
+    def test_pilot_before_first_occasion(self):
+        graph, database, tids, rng = _correlated_world()
+        independent, repeated = _make_evaluators(graph, database)
+        pilot = repeated.config.pilot_size
+        assert independent.plan_demand(2.0, 0.95) == pilot
+        assert repeated.plan_demand(2.0, 0.95) == pilot
+
+    def test_forecast_sized_from_measured_sigma(self):
+        graph, database, tids, rng = _correlated_world()
+        independent, _ = _make_evaluators(graph, database)
+        independent.evaluate(0, epsilon=1.0, confidence=0.95)
+        forecast = independent.plan_demand(1.0, 0.95)
+        assert forecast >= independent.config.pilot_size
+        # a looser epsilon can never demand more samples
+        assert independent.plan_demand(4.0, 0.95) <= forecast
+
+    def test_repeated_forecast_excludes_retained_portion(self):
+        """RPT retention means fewer *fresh* walks than INDEP forecasts."""
+        graph, database, tids, rng = _correlated_world()
+        independent, repeated = _make_evaluators(graph, database)
+        for time in range(3):
+            _evolve(database, tids, rng)
+            independent.evaluate(time, epsilon=1.0, confidence=0.95)
+            repeated.evaluate(time, epsilon=1.0, confidence=0.95)
+        assert (
+            repeated.plan_demand(1.0, 0.95)
+            < independent.plan_demand(1.0, 0.95)
+        )
+
+    def test_plan_is_a_pure_read(self):
+        graph, database, tids, rng = _correlated_world()
+        _, repeated = _make_evaluators(graph, database)
+        repeated.evaluate(0, epsilon=1.5, confidence=0.95)
+        first = repeated.plan_demand(1.5, 0.95)
+        assert repeated.plan_demand(1.5, 0.95) == first  # no state change
+        assert repeated._operator.samples_drawn > 0  # only evaluate() draws
+        drawn_before = repeated._operator.samples_drawn
+        repeated.plan_demand(1.5, 0.95)
+        assert repeated._operator.samples_drawn == drawn_before

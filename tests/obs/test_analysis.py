@@ -70,6 +70,8 @@ class TestCounterReplay:
             "walks_failed": 1,
             "faults_injected": 2,
             "degraded_estimates": 1,
+            "pool_hits": 0,
+            "pool_misses": 0,
         }
 
     def test_mismatch_is_reported_per_counter(self):

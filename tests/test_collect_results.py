@@ -18,6 +18,9 @@ def collector(tmp_path, monkeypatch):
     results.mkdir()
     monkeypatch.setattr(module, "RESULTS_DIR", results)
     monkeypatch.setattr(module, "OUTPUT", tmp_path / "RESULTS.md")
+    monkeypatch.setattr(
+        module, "MULTI_QUERY_JSON", tmp_path / "BENCH_multi_query.json"
+    )
     return module, results
 
 
@@ -68,6 +71,24 @@ def test_folds_trace_attribution_into_results(collector):
     folded = json.loads((results / "trace_attribution.json").read_text())
     assert folded["fault_smoke"]["message_attribution"]["walk_steps"] == 1
     assert folded["fault_smoke"]["walk_outcomes"] == {"completed": 1}
+
+
+def test_promotes_multi_query_payload(collector):
+    import json
+
+    module, results = collector
+    payload = {"message_savings": 0.5, "pool_hit_rate": 0.9}
+    (results / "multi_query.json").write_text(json.dumps(payload))
+    module.main()
+    assert module.MULTI_QUERY_JSON.exists()
+    assert json.loads(module.MULTI_QUERY_JSON.read_text()) == payload
+
+
+def test_no_multi_query_payload_is_fine(collector):
+    module, results = collector
+    (results / "fig4a.txt").write_text("FIG4A TABLE\n")
+    module.main()
+    assert not module.MULTI_QUERY_JSON.exists()
 
 
 def test_no_traces_writes_no_attribution(collector):

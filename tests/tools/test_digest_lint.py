@@ -371,6 +371,58 @@ class TestNoPrint:
 
 
 # ----------------------------------------------------------------------
+# DGL008 -- SamplingOperator constructed only inside repro.sampling
+# ----------------------------------------------------------------------
+
+
+class TestDirectOperatorConstruction:
+    PATH = "src/repro/core/snippet.py"
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # the canonical offender: a private, unshareable substrate
+            "from repro.sampling.operator import SamplingOperator\n"
+            "op = SamplingOperator(g, rng)\n",
+            # package re-export and aliasing do not launder it
+            "from repro.sampling import SamplingOperator\n"
+            "op = SamplingOperator(g, rng)\n",
+            "from repro.sampling.operator import SamplingOperator as SO\n"
+            "op = SO(g, rng)\n",
+            "import repro.sampling.operator as operator\n"
+            "op = operator.SamplingOperator(g, rng)\n",
+        ],
+    )
+    def test_flags_construction_outside_sampling(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == ["DGL008"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # the sanctioned route: the pool owns the operator
+            "from repro.sampling.pool import SamplePool\n"
+            "pool = SamplePool(g, rng)\nop = pool.operator\n",
+            # importing the type for annotations is fine; only calls flag
+            "from repro.sampling.operator import SamplingOperator\n"
+            "def f(op: SamplingOperator) -> None:\n    pass\n",
+            # a same-named class from elsewhere is not ours
+            "from somewhere.else_ import SamplingOperator\n"
+            "op = SamplingOperator()\n",
+        ],
+    )
+    def test_allows_pool_route_and_annotations(self, snippet: str) -> None:
+        assert codes(snippet, self.PATH) == []
+
+    def test_sampling_package_itself_is_exempt(self) -> None:
+        snippet = (
+            "from repro.sampling.operator import SamplingOperator\n"
+            "op = SamplingOperator(g, rng)\n"
+        )
+        assert codes(snippet, "src/repro/sampling/pool.py") == []
+        assert codes(snippet, "src/repro/experiments/snippet.py") == ["DGL008"]
+
+
+# ----------------------------------------------------------------------
 # engine behavior: noqa, select, errors
 # ----------------------------------------------------------------------
 
@@ -439,6 +491,7 @@ class TestEngine:
             "DGL005",
             "DGL006",
             "DGL007",
+            "DGL008",
         ]
         for rule in ALL_RULES:
             assert rule.summary and rule.rationale
@@ -479,6 +532,11 @@ class TestCli:
                 "def _handle_x(m: object) -> None:\n    raise ValueError(m)\n",
             ),
             "DGL007": ("repro", 'print("hi")\n'),
+            "DGL008": (
+                "repro/core",
+                "from repro.sampling.operator import SamplingOperator\n"
+                "op = SamplingOperator(None, None)\n",
+            ),
         }
         for code, (scope, source) in fixtures.items():
             scoped = tmp_path / code / scope

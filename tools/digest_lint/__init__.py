@@ -25,6 +25,13 @@ DGL004    no float ``==`` / ``!=`` against non-sentinel literals in
           estimator/threshold code under ``core/``
 DGL005    public functions and methods in ``src/repro/`` must be fully
           type-annotated
+DGL006    ``protocol/`` delivery handlers and nested closures must not
+          ``raise``; record a ``FaultEvent`` and drop the message
+DGL007    no ``print()`` in ``src/repro/``; console output goes through
+          ``repro.obs.console.emit``
+DGL008    no direct ``SamplingOperator`` construction outside
+          ``repro.sampling``; build a ``SamplePool`` and use its
+          ``.operator`` / ``.lease`` so walks stay shareable
 ========  ==============================================================
 
 Any finding can be suppressed on its line with ``# noqa: DGL00x`` (or a

@@ -20,7 +20,7 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m tools.digest_lint",
         description=(
             "Project-specific static analysis enforcing the Digest "
-            "reproduction's simulation invariants (DGL001-DGL005). "
+            "reproduction's simulation invariants (DGL001-DGL008). "
             "Suppress a single line with '# noqa: DGL00x'."
         ),
     )

@@ -1,4 +1,4 @@
-"""The digest-lint rules (DGL001-DGL007).
+"""The digest-lint rules (DGL001-DGL008).
 
 Each rule is a small AST pass. Rules are scoped by path (``applies_to``)
 so the same engine lints ``src/`` in CI and known-bad fixtures in the test
@@ -529,6 +529,56 @@ class NoPrint(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# DGL008 -- SamplingOperator is constructed only inside repro.sampling
+# ----------------------------------------------------------------------
+
+
+class DirectOperatorConstruction(Rule):
+    code = "DGL008"
+    name = "direct-operator-construction"
+    summary = (
+        "no direct SamplingOperator construction outside repro.sampling; "
+        "obtain the operator through SamplePool (pool.operator / "
+        "pool.lease)"
+    )
+    rationale = (
+        "The multi-query amortization argument (shared walks priced once, "
+        "per-consumer reuse cursors, pool_hit/pool_miss accounting) only "
+        "holds if every query reaches the sampling substrate through the "
+        "one pool that owns it. A privately constructed SamplingOperator "
+        "is an unshared side channel: its walks cannot be coalesced with "
+        "co-resident queries and its draws never appear in the pool "
+        "counters, so the reported amortization overstates itself. "
+        "Construct a repro.sampling.pool.SamplePool and use its .operator "
+        "(or a per-query .lease) instead; tests and harness code outside "
+        "src/repro are exempt."
+    )
+
+    def applies_to(self, path_parts: tuple[str, ...]) -> bool:
+        return "repro" in path_parts and "sampling" not in path_parts
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        imports = _import_map(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = _resolve(node.func, imports)
+            if full is None:
+                continue
+            if full.startswith("repro.sampling") and full.endswith(
+                ".SamplingOperator"
+            ):
+                yield self._finding(
+                    path,
+                    node,
+                    "direct SamplingOperator construction outside "
+                    "repro.sampling; build a SamplePool and use "
+                    ".operator / .lease so walks stay shareable and "
+                    "pool accounting stays honest",
+                )
+
+
 #: Registry in code order; the runner and ``--list-rules`` both use it.
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -538,6 +588,7 @@ ALL_RULES: tuple[Rule, ...] = (
     MissingAnnotations(),
     HandlerRaises(),
     NoPrint(),
+    DirectOperatorConstruction(),
 )
 
 RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}
