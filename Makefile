@@ -10,10 +10,11 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# digest-lint (stdlib-only, always available) + ruff when installed.
-# See docs/DEVELOPMENT.md for the DGL001-DGL005 rule catalog.
+# digest-analyzer (stdlib-only, always available) + ruff when installed.
+# See docs/DEVELOPMENT.md for the DGL rule catalog (per-file DGL001-008,
+# cross-module DGL009-013) and the baseline/pragma policy.
 lint:
-	$(PYTHON) -m tools.digest_lint src/
+	$(PYTHON) -m tools.digest_analyzer
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests tools benchmarks examples; \
 	else \

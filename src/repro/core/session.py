@@ -54,6 +54,7 @@ from repro.errors import QueryError
 from repro.network.faults import FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
+from repro.obs.schema import SPAN_POOL_SERVE, SPAN_SNAPSHOT_QUERY, SPAN_WALK
 from repro.obs.tracer import RunMetricsSink, SinkTracer, Span, TraceEvent
 from repro.sampling.operator import SamplerConfig, SampleSource
 from repro.sampling.pool import PoolConfig, SamplePool
@@ -160,13 +161,13 @@ class _QueryScopedSink:
         self._inner = RunMetricsSink(metrics)
 
     def on_span_end(self, span: Span) -> None:
-        if span.name in ("snapshot_query",):
+        if span.name in (SPAN_SNAPSHOT_QUERY,):
             if span.attrs.get("query") == self._query_id:
                 self._inner.on_span_end(span)
-        elif span.name == "pool_serve":
+        elif span.name == SPAN_POOL_SERVE:
             if span.attrs.get("consumer") == self._query_id:
                 self._inner.on_span_end(span)
-        elif span.name == "walk":
+        elif span.name == SPAN_WALK:
             consumers = str(span.attrs.get("consumers", ""))
             if self._query_id in consumers.split(","):
                 self._inner.on_span_end(span)
@@ -458,7 +459,7 @@ class DigestSession:
         """Execute one query's snapshot at ``time`` (the engine core)."""
         precision = runtime.continuous_query.precision
         span = self.tracer.span(
-            "snapshot_query",
+            SPAN_SNAPSHOT_QUERY,
             time=time,
             trigger=runtime.next_trigger,
             query=runtime.query_id,

@@ -35,6 +35,7 @@ from repro.core.estimators import (
 )
 from repro.experiments.report import format_table
 from repro.network.faults import CrashProcess, FaultConfig, FaultPlan
+from repro.obs.schema import SPAN_FAULT_CELL, SPAN_SNAPSHOT_QUERY
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
 from repro.network.topology import power_law_topology
@@ -169,7 +170,7 @@ def _run_cell(
         rng=seed + 1,
     )
     cell_span = tracer.span(
-        "fault_cell",
+        SPAN_FAULT_CELL,
         time=0,
         message_loss=message_loss,
         crash_probability=crash_probability,
@@ -224,7 +225,7 @@ def _run_cell(
     # the cell's estimate is one forced snapshot query; the span is what
     # books samples_total/samples_fresh/degraded_estimates on the metrics
     query_span = tracer.span(
-        "snapshot_query",
+        SPAN_SNAPSHOT_QUERY,
         time=simulation.now,
         parent=cell_span,
         trigger="forced",

@@ -21,6 +21,16 @@ bookkeeping exactly:
 from __future__ import annotations
 
 from repro.obs.registry import DEFAULT_DURATION_BUCKETS, Histogram
+from repro.obs.schema import (
+    EVENT_ADVERTISEMENT,
+    EVENT_FAULT,
+    EVENT_MESSAGE,
+    EVENT_PROBE,
+    SPAN_POOL_SERVE,
+    SPAN_SHARED_WALK_BATCH,
+    SPAN_SNAPSHOT_QUERY,
+    SPAN_WALK,
+)
 from repro.obs.tracer import RunMetricsSink, Span, Trace, TraceEvent
 from repro.sim.metrics import RunMetrics
 
@@ -100,9 +110,9 @@ def message_attribution(trace: Trace) -> dict[str, int]:
         "probes": 0,
         "advertisements": 0,
     }
-    for span in trace.spans_named("walk"):
+    for span in trace.spans_named(SPAN_WALK):
         for event in span.events:
-            if event.name == "message":
+            if event.name == EVENT_MESSAGE:
                 category = event.attrs.get("category")
                 if category == "walk":
                     attribution["walk_steps"] += 1
@@ -110,12 +120,12 @@ def message_attribution(trace: Trace) -> dict[str, int]:
                     attribution["sample_returns"] += 1
                 elif category == "retry":
                     attribution["retries"] += 1
-            elif event.name == "probe":
+            elif event.name == EVENT_PROBE:
                 attribution["probes"] += _as_int(
                     event.attrs.get("messages"), default=2
                 )
     for event in trace.events:
-        if event.name == "advertisement":
+        if event.name == EVENT_ADVERTISEMENT:
             attribution["advertisements"] += 1
     attribution["control"] = (
         attribution["probes"] + attribution["advertisements"]
@@ -157,18 +167,18 @@ def shared_walk_attribution(trace: Trace) -> dict[str, dict[str, int]]:
             },
         )
 
-    for span in trace.spans_named("pool_serve"):
+    for span in trace.spans_named(SPAN_POOL_SERVE):
         consumer = str(span.attrs.get("consumer", "?"))
         record = entry(consumer)
         record["pool_hits"] += _as_int(span.attrs.get("n_hit"))
         record["pool_misses"] += _as_int(span.attrs.get("n_miss"))
-    for span in trace.spans_named("shared_walk_batch"):
+    for span in trace.spans_named(SPAN_SHARED_WALK_BATCH):
         consumers = str(span.attrs.get("consumers", ""))
         for query_id in filter(None, consumers.split(",")):
             record = entry(query_id)
             record["shared_batches"] += 1
             record["batch_samples"] += _as_int(span.attrs.get("n_drawn"))
-    for span in trace.spans_named("walk"):
+    for span in trace.spans_named(SPAN_WALK):
         consumers = str(span.attrs.get("consumers", ""))
         for query_id in filter(None, consumers.split(",")):
             entry(query_id)["walks"] += 1
@@ -181,7 +191,7 @@ def walk_latency_histogram(
 ) -> Histogram:
     """Simulated-time latency distribution of finished walks."""
     histogram = Histogram("walk_latency", tuple(boundaries))
-    for span in trace.spans_named("walk"):
+    for span in trace.spans_named(SPAN_WALK):
         if span.end is not None:
             histogram.observe(float(span.duration))
     return histogram
@@ -190,7 +200,7 @@ def walk_latency_histogram(
 def walk_outcomes(trace: Trace) -> dict[str, int]:
     """Finished walks by outcome (``completed`` / ``failed``)."""
     counts: dict[str, int] = {}
-    for span in trace.spans_named("walk"):
+    for span in trace.spans_named(SPAN_WALK):
         outcome = str(span.attrs.get("outcome", "open"))
         counts[outcome] = counts.get(outcome, 0) + 1
     return dict(sorted(counts.items()))
@@ -199,7 +209,7 @@ def walk_outcomes(trace: Trace) -> dict[str, int]:
 def fault_timeline(trace: Trace) -> list[TraceEvent]:
     """All fault events in time order (time ``-1`` = outside the loop)."""
     return sorted(
-        (event for event in trace.events if event.name == "fault"),
+        (event for event in trace.events if event.name == EVENT_FAULT),
         key=lambda event: event.time,
     )
 
@@ -208,7 +218,7 @@ def degraded_timeline(trace: Trace) -> list[Span]:
     """Snapshot-query spans whose estimate was honestly degraded."""
     return [
         span
-        for span in trace.spans_named("snapshot_query")
+        for span in trace.spans_named(SPAN_SNAPSHOT_QUERY)
         if bool(span.attrs.get("degraded", False))
     ]
 
@@ -216,7 +226,7 @@ def degraded_timeline(trace: Trace) -> list[Span]:
 def trigger_breakdown(trace: Trace) -> dict[str, int]:
     """Snapshot queries by trigger reason (bootstrap/periodic/...)."""
     counts: dict[str, int] = {}
-    for span in trace.spans_named("snapshot_query"):
+    for span in trace.spans_named(SPAN_SNAPSHOT_QUERY):
         reason = str(span.attrs.get("trigger", "unknown"))
         counts[reason] = counts.get(reason, 0) + 1
     return dict(sorted(counts.items()))

@@ -36,6 +36,12 @@ from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.obs.profile import WallClockProfiler
 from repro.obs.registry import DEFAULT_DURATION_BUCKETS, MetricsRegistry
+from repro.obs.schema import (
+    EVENT_FAULT,
+    SPAN_POOL_SERVE,
+    SPAN_SNAPSHOT_QUERY,
+    SPAN_WALK,
+)
 from repro.sim.clock import SimulationClock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -366,24 +372,24 @@ class RunMetricsSink:
 
     def on_span_end(self, span: Span) -> None:
         metrics = self.metrics
-        if span.name == "snapshot_query":
+        if span.name == SPAN_SNAPSHOT_QUERY:
             metrics.snapshot_queries += 1
             metrics.samples_total += _as_int(span.attrs.get("n_total"))
             metrics.samples_fresh += _as_int(span.attrs.get("n_fresh"))
             metrics.samples_retained += _as_int(span.attrs.get("n_retained"))
             if bool(span.attrs.get("degraded", False)):
                 metrics.degraded_estimates += 1
-        elif span.name == "walk":
+        elif span.name == SPAN_WALK:
             attempts = _as_int(span.attrs.get("attempts"), default=1)
             metrics.walks_retried += max(0, attempts - 1)
             if span.attrs.get("outcome") == "failed":
                 metrics.walks_failed += 1
-        elif span.name == "pool_serve":
+        elif span.name == SPAN_POOL_SERVE:
             metrics.pool_hits += _as_int(span.attrs.get("n_hit"))
             metrics.pool_misses += _as_int(span.attrs.get("n_miss"))
 
     def on_event(self, event: TraceEvent) -> None:
-        if event.name == "fault":
+        if event.name == EVENT_FAULT:
             self.metrics.faults_injected += 1
 
 
@@ -422,7 +428,7 @@ def bridge_fault_log(log: "FaultLog", tracer: Tracer) -> None:
 
     def forward(event: "FaultEvent") -> None:
         tracer.event(
-            "fault",
+            EVENT_FAULT,
             time=event.time,
             kind=event.kind,
             walker_id=event.walker_id,

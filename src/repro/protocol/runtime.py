@@ -46,6 +46,16 @@ from repro.network.churn import ChurnEvent
 from repro.network.faults import FaultLog, FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
+from repro.obs.schema import (
+    EVENT_ADVERTISEMENT,
+    EVENT_HOP,
+    EVENT_MESSAGE,
+    EVENT_PROBE,
+    EVENT_RETRY,
+    EVENT_TIMEOUT,
+    SPAN_SHARED_WALK_BATCH,
+    SPAN_WALK,
+)
 from repro.obs.tracer import NULL_SPAN, NULL_TRACER, Span, Tracer, bridge_fault_log
 from repro.protocol.messages import SampleReturn, WalkToken
 from repro.sampling.weights import WeightFunction
@@ -233,7 +243,7 @@ class ProtocolSampler:
         self.advertisements_sent += 1
         if self._tracer.enabled:
             self._tracer.event(
-                "advertisement",
+                EVENT_ADVERTISEMENT,
                 time=self._simulation.now,
                 to_node=to_node,
                 source=source,
@@ -306,7 +316,7 @@ class ProtocolSampler:
             walker_id=walker_id, origin=origin, walk_length=walk_length
         )
         state.span = self._tracer.span(
-            "walk",
+            SPAN_WALK,
             time=self._simulation.now,
             walker_id=walker_id,
             origin=origin,
@@ -322,7 +332,7 @@ class ProtocolSampler:
         attempt = state.attempt
         if attempt > 1:
             state.span.add_event(
-                self._simulation.now, "retry", attempt=attempt
+                self._simulation.now, EVENT_RETRY, attempt=attempt
             )
         if self._retry is not None:
             state.timeout_event = self._simulation.schedule_in(
@@ -351,7 +361,9 @@ class ProtocolSampler:
         if state.finished or attempt != state.attempt:
             return  # superseded or already resolved; stale timer
         state.timeouts += 1
-        state.span.add_event(self._simulation.now, "timeout", attempt=attempt)
+        state.span.add_event(
+            self._simulation.now, EVENT_TIMEOUT, attempt=attempt
+        )
         self.fault_log.record(
             self._simulation.now,
             "walk_timeout",
@@ -463,7 +475,7 @@ class ProtocolSampler:
         is how per-query attribution survives the sharing.
         """
         batch_span = self._tracer.span(
-            "shared_walk_batch",
+            SPAN_SHARED_WALK_BATCH,
             time=self._simulation.now,
             n_requested=plan.n_walks,
             n_pooled=0,
@@ -565,7 +577,7 @@ class ProtocolSampler:
                 # trace attribution and the ledger cannot disagree
                 state.span.add_event(
                     self._simulation.now,
-                    "message",
+                    EVENT_MESSAGE,
                     category="retry" if attempt > 1 else kind,
                     to_node=to_node,
                 )
@@ -620,7 +632,7 @@ class ProtocolSampler:
         if self._tracer.enabled:
             state.span.add_event(
                 self._simulation.now,
-                "hop",
+                EVENT_HOP,
                 node=node,
                 steps_remaining=steps_remaining,
             )
@@ -692,7 +704,7 @@ class ProtocolSampler:
                 if probing is not None:
                     probing.span.add_event(
                         self._simulation.now,
-                        "probe",
+                        EVENT_PROBE,
                         node=node,
                         target=target,
                         messages=2,

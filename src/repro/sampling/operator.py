@@ -41,6 +41,7 @@ from repro.errors import SamplingError
 from repro.network.faults import FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
+from repro.obs.schema import SPAN_SAMPLE_ACQUISITION, SPAN_TUPLE_SAMPLING
 from repro.obs.tracer import NULL_TRACER, Tracer, bridge_fault_log
 from repro.sampling import mixing
 from repro.sampling.walker import WalkContext, batch_walk
@@ -330,7 +331,7 @@ class SamplingOperator:
         if origin not in self._graph:
             raise SamplingError(f"origin node {origin} is not in the overlay")
         span = self._tracer.span(
-            "sample_acquisition", n_requested=n, origin=origin
+            SPAN_SAMPLE_ACQUISITION, n_requested=n, origin=origin
         )
         context = WalkContext.from_graph(self._graph, weight)
         mix_length, reset_length = self._walk_lengths(context, origin)
@@ -432,7 +433,9 @@ class SamplingOperator:
         if database.n_tuples == 0:
             raise SamplingError("cannot sample tuples from an empty relation")
         weight = content_size_weights(database)
-        span = self._tracer.span("tuple_sampling", n_requested=n, origin=origin)
+        span = self._tracer.span(
+            SPAN_TUPLE_SAMPLING, n_requested=n, origin=origin
+        )
         samples: list[TupleSample] = []
         rounds = 0
         need = n

@@ -50,6 +50,7 @@ from repro.errors import SamplingError
 from repro.network.faults import FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
+from repro.obs.schema import SPAN_POOL_SERVE, SPAN_SHARED_WALK_BATCH
 from repro.obs.tracer import NO_TIME, NULL_TRACER, Tracer
 from repro.sampling.operator import (
     SamplerConfig,
@@ -247,7 +248,7 @@ class SamplePool:
             return []
         cursor = self._cursors.get(consumer, -1)
         span = self._tracer.span(
-            "pool_serve",
+            SPAN_POOL_SERVE,
             n_requested=n,
             consumer=consumer,
             origin=origin,
@@ -300,7 +301,7 @@ class SamplePool:
         if need <= 0:
             return 0
         span = self._tracer.span(
-            "shared_walk_batch",
+            SPAN_SHARED_WALK_BATCH,
             n_requested=n,
             n_pooled=available,
             consumers=",".join(consumers),

@@ -1,0 +1,960 @@
+"""Tests for the cross-module digest analyzer (tools.digest_analyzer).
+
+Organization mirrors the architecture: fixture-driven tests per
+cross-module rule (DGL009-DGL013) — each seeded violation must be
+caught, and for the reachability rules the same fixture is shown to be
+*invisible* to the old per-file rule it upgrades — then the pragma
+layer, the baseline, the cache, SARIF, the CLI, and the repository
+meta-test (the invariant CI enforces: zero non-baselined findings).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.digest_analyzer import (
+    RULE_CATALOG,
+    AnalysisResult,
+    Finding,
+    analyze_paths,
+    analyze_sources,
+    write_baseline,
+)
+from tools.digest_analyzer.baseline import apply_baseline, load_baseline
+from tools.digest_analyzer.pragmas import parse_pragmas
+from tools.digest_analyzer.sarif import render_sarif
+from tools.digest_analyzer.schema_facts import (
+    SchemaParseError,
+    parse_schema_source,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCHEMA_PATH = "src/repro/obs/schema.py"
+SCHEMA_TEXT = (REPO_ROOT / SCHEMA_PATH).read_text(encoding="utf-8")
+
+
+def analyze(
+    sources: dict[str, str], select: set[str] | None = None
+) -> AnalysisResult:
+    """Run the engine over dedented fixture sources plus the real schema."""
+    merged = {SCHEMA_PATH: SCHEMA_TEXT}
+    merged.update(
+        {path: textwrap.dedent(text) for path, text in sources.items()}
+    )
+    return analyze_sources(
+        merged, select=frozenset(select) if select else None
+    )
+
+
+def codes(
+    sources: dict[str, str], select: set[str] | None = None
+) -> list[str]:
+    return [f.code for f in analyze(sources, select).findings]
+
+
+def run_cli(*args: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "tools.digest_analyzer", *args],
+        cwd=cwd,
+        env={"PYTHONPATH": str(REPO_ROOT)},
+        capture_output=True,
+        text=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# DGL009 -- trace-schema conformance
+# ----------------------------------------------------------------------
+
+
+class TestTraceSchemaConformance:
+    PATH = "src/repro/core/snippet.py"
+
+    def test_undeclared_span_name_literal(self) -> None:
+        result = analyze(
+            {
+                self.PATH: """\
+                def run(tracer, t):
+                    span = tracer.span("bogus_span", time=t)
+                """
+            },
+            select={"DGL009"},
+        )
+        assert [f.code for f in result.findings] == ["DGL009"]
+        assert "undeclared span name 'bogus_span'" in result.findings[0].message
+
+    def test_declared_literal_must_become_constant(self) -> None:
+        result = analyze(
+            {
+                self.PATH: """\
+                def run(tracer, t):
+                    span = tracer.span("walk", time=t)
+                """
+            },
+            select={"DGL009"},
+        )
+        assert [f.code for f in result.findings] == ["DGL009"]
+        assert "repro.obs.schema.SPAN_WALK" in result.findings[0].message
+
+    def test_undeclared_attribute_key(self) -> None:
+        result = analyze(
+            {
+                self.PATH: """\
+                from repro.obs.schema import SPAN_WALK
+
+                def run(tracer, t):
+                    tracer.span(SPAN_WALK, time=t, walker_id=1, bogus_key=2)
+                """
+            },
+            select={"DGL009"},
+        )
+        messages = [f.message for f in result.findings]
+        assert any("bogus_key" in m for m in messages)
+
+    def test_missing_required_keys_over_visible_lifecycle(self) -> None:
+        result = analyze(
+            {
+                self.PATH: """\
+                from repro.obs.schema import SPAN_WALK
+
+                def run(tracer, t):
+                    span = tracer.span(SPAN_WALK, time=t, walker_id=1)
+                    tracer.end(span, time=t + 1, outcome="completed")
+                """
+            },
+            select={"DGL009"},
+        )
+        missing = [f for f in result.findings if "required" in f.message]
+        assert len(missing) == 1
+        for key in ("origin", "walk_length", "attempts"):
+            assert key in missing[0].message
+
+    def test_complete_lifecycle_is_clean(self) -> None:
+        assert (
+            codes(
+                {
+                    self.PATH: """\
+                    from repro.obs.schema import SPAN_WALK
+
+                    def run(tracer, t):
+                        span = tracer.span(
+                            SPAN_WALK, time=t, walker_id=1, origin=0, walk_length=8
+                        )
+                        tracer.end(
+                            span, time=t + 1, outcome="completed", attempts=1
+                        )
+                    """
+                },
+                select={"DGL009"},
+            )
+            == []
+        )
+
+    def test_span_constant_recorded_as_event(self) -> None:
+        result = analyze(
+            {
+                self.PATH: """\
+                from repro.obs.schema import SPAN_WALK
+
+                def run(tracer, t):
+                    tracer.event(SPAN_WALK, time=t)
+                """
+            },
+            select={"DGL009"},
+        )
+        assert [f.code for f in result.findings] == ["DGL009"]
+        assert "declared as a span" in result.findings[0].message
+
+    def test_dynamic_name_expression(self) -> None:
+        result = analyze(
+            {
+                self.PATH: """\
+                def run(tracer, t, which):
+                    tracer.event(which, time=t)
+                """
+            },
+            select={"DGL009"},
+        )
+        assert [f.code for f in result.findings] == ["DGL009"]
+        assert "must be a repro.obs.schema constant" in result.findings[0].message
+
+    def test_event_missing_required_keys(self) -> None:
+        result = analyze(
+            {
+                self.PATH: """\
+                from repro.obs.schema import EVENT_HOP
+
+                def run(tracer, t, span):
+                    tracer.event(EVENT_HOP, time=t, span=span, node=3)
+                """
+            },
+            select={"DGL009"},
+        )
+        assert [f.code for f in result.findings] == ["DGL009"]
+        assert "steps_remaining" in result.findings[0].message
+
+    def test_tests_are_out_of_scope(self) -> None:
+        assert (
+            codes(
+                {
+                    "tests/obs/snippet.py": """\
+                    def run(tracer):
+                        tracer.span("walk", time=0)
+                    """
+                },
+                select={"DGL009"},
+            )
+            == []
+        )
+
+    def test_repo_producers_are_clean(self) -> None:
+        """The real src/repro tree conforms to its own schema."""
+        result = analyze_paths(
+            [REPO_ROOT / "src"],
+            repo_root=REPO_ROOT,
+            select=frozenset({"DGL009"}),
+        )
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# DGL010 -- hard-coded trace names in consumers
+# ----------------------------------------------------------------------
+
+
+class TestTraceNameLiterals:
+    def test_name_comparison_literal(self) -> None:
+        result = analyze(
+            {
+                "src/repro/obs/consumer.py": """\
+                def walks(trace):
+                    return [s for s in trace.spans if s.name == "walk"]
+                """
+            },
+            select={"DGL010"},
+        )
+        assert [f.code for f in result.findings] == ["DGL010"]
+        assert "SPAN_WALK" in result.findings[0].message
+
+    def test_spans_named_literal(self) -> None:
+        result = analyze(
+            {
+                "tools/trace_analysis/extra.py": """\
+                def pool_serves(trace):
+                    return trace.spans_named("pool_serve")
+                """
+            },
+            select={"DGL010"},
+        )
+        assert [f.code for f in result.findings] == ["DGL010"]
+        assert "SPAN_POOL_SERVE" in result.findings[0].message
+
+    def test_membership_comparison_literals(self) -> None:
+        result = analyze(
+            {
+                "benchmarks/collect.py": """\
+                def interesting(span):
+                    return span.name in ("walk", "pool_serve")
+                """
+            },
+            select={"DGL010"},
+        )
+        assert [f.code for f in result.findings] == ["DGL010", "DGL010"]
+
+    def test_non_trace_literal_is_clean(self) -> None:
+        assert (
+            codes(
+                {
+                    "src/repro/obs/consumer.py": """\
+                    def named_bob(things):
+                        return [t for t in things if t.name == "bob"]
+                    """
+                },
+                select={"DGL010"},
+            )
+            == []
+        )
+
+    def test_attr_value_literal_is_clean(self) -> None:
+        """'walk' as an attribute *value* is not a name position."""
+        assert (
+            codes(
+                {
+                    "src/repro/obs/consumer.py": """\
+                    def walk_messages(events):
+                        return [e for e in events if e.attrs.get("category") == "walk"]
+                    """
+                },
+                select={"DGL010"},
+            )
+            == []
+        )
+
+    def test_tests_are_out_of_scope(self) -> None:
+        assert (
+            codes(
+                {
+                    "tests/obs/snippet.py": """\
+                    def walks(trace):
+                        return trace.spans_named("walk")
+                    """
+                },
+                select={"DGL010"},
+            )
+            == []
+        )
+
+
+# ----------------------------------------------------------------------
+# DGL011 -- RNG-stream provenance
+# ----------------------------------------------------------------------
+
+
+class TestRngStreamCrossing:
+    PATH = "src/repro/experiments/snippet.py"
+
+    def test_one_generator_two_streams(self) -> None:
+        result = analyze(
+            {
+                self.PATH: """\
+                import numpy as np
+                from repro.network.churn import ChurnProcess
+                from repro.network.faults import FaultPlan
+
+                def wire(graph, config, rng: np.random.Generator):
+                    plan = FaultPlan(config, rng=rng)
+                    churn = ChurnProcess(graph, rng=rng)
+                    return plan, churn
+                """
+            },
+            select={"DGL011"},
+        )
+        assert [f.code for f in result.findings] == ["DGL011"]
+        message = result.findings[0].message
+        assert "'churn'" in message and "'fault'" in message
+
+    def test_crossing_hidden_behind_helper(self) -> None:
+        """The generator reaches the second stream only through a local
+        helper -- invisible to any per-file syntactic check."""
+        result = analyze(
+            {
+                self.PATH: """\
+                import numpy as np
+                from repro.network.churn import ChurnProcess
+                from repro.network.faults import FaultPlan
+
+                def _build_faults(config, rng: np.random.Generator):
+                    return FaultPlan(config, rng=rng)
+
+                def wire(graph, config, rng: np.random.Generator):
+                    plan = _build_faults(config, rng)
+                    churn = ChurnProcess(graph, rng=rng)
+                    return plan, churn
+                """
+            },
+            select={"DGL011"},
+        )
+        assert [f.code for f in result.findings] == ["DGL011"]
+        assert result.findings[0].line == 10  # the ChurnProcess call
+        assert "_build_faults" in result.findings[0].message
+
+    def test_separate_streams_are_clean(self) -> None:
+        assert (
+            codes(
+                {
+                    self.PATH: """\
+                    import numpy as np
+                    from repro.network.churn import ChurnProcess
+                    from repro.network.faults import FaultPlan
+
+                    def wire(graph, config, seed: int):
+                        fault_rng = np.random.default_rng(seed)
+                        churn_rng = np.random.default_rng(seed + 1)
+                        plan = FaultPlan(config, rng=fault_rng)
+                        churn = ChurnProcess(graph, rng=churn_rng)
+                        return plan, churn
+                    """
+                },
+                select={"DGL011"},
+            )
+            == []
+        )
+
+    def test_alias_does_not_launder_the_stream(self) -> None:
+        result = analyze(
+            {
+                self.PATH: """\
+                import numpy as np
+                from repro.network.churn import ChurnProcess
+                from repro.network.faults import FaultPlan
+
+                def wire(graph, config, rng: np.random.Generator):
+                    plan = FaultPlan(config, rng=rng)
+                    other = rng
+                    churn = ChurnProcess(graph, rng=other)
+                    return plan, churn
+                """
+            },
+            select={"DGL011"},
+        )
+        assert [f.code for f in result.findings] == ["DGL011"]
+
+    def test_same_stream_twice_is_clean(self) -> None:
+        assert (
+            codes(
+                {
+                    self.PATH: """\
+                    import numpy as np
+                    from repro.network.faults import FaultPlan
+
+                    def wire(config, other_config, rng: np.random.Generator):
+                        first = FaultPlan(config, rng=rng)
+                        second = FaultPlan(other_config, rng=rng)
+                        return first, second
+                    """
+                },
+                select={"DGL011"},
+            )
+            == []
+        )
+
+    def test_inline_draws_plus_one_sink_are_clean(self) -> None:
+        assert (
+            codes(
+                {
+                    self.PATH: """\
+                    import numpy as np
+                    from repro.network.topology import power_law_topology
+
+                    def build(n: int, seed: int):
+                        rng = np.random.default_rng(seed)
+                        edges = power_law_topology(n, rng=rng)
+                        weights = rng.normal(0.0, 1.0, n)
+                        return edges, weights
+                    """
+                },
+                select={"DGL011"},
+            )
+            == []
+        )
+
+
+# ----------------------------------------------------------------------
+# DGL012 -- wall-clock reachability
+# ----------------------------------------------------------------------
+
+_TIMING_HELPER = """\
+import time
+
+def now_ms() -> int:
+    return int(time.time() * 1000)
+"""
+
+_SIM_CALLER = """\
+from repro.util.timing import now_ms
+
+def tick() -> int:
+    return now_ms()
+"""
+
+
+class TestWallClockReachability:
+    def test_reaches_wall_clock_through_helper_module(self) -> None:
+        sources = {
+            "src/repro/util/timing.py": _TIMING_HELPER,
+            "src/repro/core/runner.py": _SIM_CALLER,
+        }
+        result = analyze(sources, select={"DGL012"})
+        assert [f.code for f in result.findings] == ["DGL012"]
+        finding = result.findings[0]
+        assert finding.path == "src/repro/core/runner.py"
+        assert "time.time" in finding.message
+        assert "repro.util.timing.now_ms" in finding.message
+
+    def test_old_per_file_rule_misses_the_same_fixture(self) -> None:
+        """DGL002 is blind to the indirection DGL012 exists to catch:
+        the wall-clock read lives outside the simulation scopes, the
+        simulation file never names a clock."""
+        sources = {
+            "src/repro/util/timing.py": _TIMING_HELPER,
+            "src/repro/core/runner.py": _SIM_CALLER,
+        }
+        assert codes(sources, select={"DGL002"}) == []
+
+    def test_two_level_indirection(self) -> None:
+        sources = {
+            "src/repro/util/timing.py": _TIMING_HELPER,
+            "src/repro/util/stats.py": """\
+            from repro.util.timing import now_ms
+
+            def stamp() -> int:
+                return now_ms()
+            """,
+            "src/repro/sampling/walker.py": """\
+            from repro.util.stats import stamp
+
+            def step() -> int:
+                return stamp()
+            """,
+        }
+        result = analyze(sources, select={"DGL012"})
+        assert [
+            (f.code, f.path) for f in result.findings
+        ] == [("DGL012", "src/repro/sampling/walker.py")]
+
+    def test_profiling_module_is_exempt(self) -> None:
+        sources = {
+            "src/repro/obs/profile_extra.py": """\
+            import time
+
+            def profile_now() -> float:
+                return time.perf_counter()
+            """,
+            "src/repro/core/runner.py": """\
+            from repro.obs.profile_extra import profile_now
+
+            def tick() -> float:
+                return profile_now()
+            """,
+        }
+        # only repro.obs.profile* modules are whitelisted wall-clock readers
+        result = analyze(sources, select={"DGL012"})
+        assert result.findings == []
+
+    def test_sim_scoped_callee_owns_its_finding(self) -> None:
+        """core -> core -> util chain: the finding lands once, on the
+        sim function that makes the boundary-crossing call."""
+        sources = {
+            "src/repro/util/timing.py": _TIMING_HELPER,
+            "src/repro/core/inner.py": _SIM_CALLER.replace("tick", "inner_tick"),
+            "src/repro/core/outer.py": """\
+            from repro.core.inner import inner_tick
+
+            def outer_tick() -> int:
+                return inner_tick()
+            """,
+        }
+        result = analyze(sources, select={"DGL012"})
+        assert [f.path for f in result.findings] == ["src/repro/core/inner.py"]
+
+
+# ----------------------------------------------------------------------
+# DGL013 -- handler-raise reachability
+# ----------------------------------------------------------------------
+
+_RAISING_HANDLER_INDIRECT = """\
+class Router:
+    def _handle_packet(self, message):
+        self._validate(message)
+
+    def _validate(self, message):
+        if message is None:
+            raise ValueError("empty message")
+"""
+
+
+class TestHandlerRaiseReachability:
+    PATH = "src/repro/protocol/snippet.py"
+
+    def test_raise_hidden_in_helper_method(self) -> None:
+        result = analyze(
+            {self.PATH: _RAISING_HANDLER_INDIRECT}, select={"DGL013"}
+        )
+        assert [f.code for f in result.findings] == ["DGL013"]
+        message = result.findings[0].message
+        assert "_handle_packet" in message
+        assert "ValueError" in message
+
+    def test_old_per_file_rule_misses_the_same_fixture(self) -> None:
+        """DGL006 only sees a raise written inside the handler body; the
+        helper method hides it completely."""
+        assert codes({self.PATH: _RAISING_HANDLER_INDIRECT}, select={"DGL006"}) == []
+
+    def test_cross_module_helper(self) -> None:
+        sources = {
+            "src/repro/protocol/checks.py": """\
+            def require_alive(node, graph):
+                if node not in graph:
+                    raise KeyError(node)
+            """,
+            "src/repro/protocol/router.py": """\
+            from repro.protocol.checks import require_alive
+
+            class Router:
+                def _deliver_sample(self, node, graph):
+                    require_alive(node, graph)
+            """,
+        }
+        result = analyze(sources, select={"DGL013"})
+        assert [
+            (f.code, f.path) for f in result.findings
+        ] == [("DGL013", "src/repro/protocol/router.py")]
+
+    def test_not_implemented_error_is_exempt(self) -> None:
+        assert (
+            codes(
+                {
+                    self.PATH: """\
+                    class Router:
+                        def _handle_packet(self, message):
+                            self._dispatch(message)
+
+                        def _dispatch(self, message):
+                            raise NotImplementedError
+                    """
+                },
+                select={"DGL013"},
+            )
+            == []
+        )
+
+    def test_recording_instead_of_raising_is_clean(self) -> None:
+        assert (
+            codes(
+                {
+                    self.PATH: """\
+                    class Router:
+                        def _handle_packet(self, message):
+                            self._record(message)
+
+                        def _record(self, message):
+                            self.faults.append(message)
+                    """
+                },
+                select={"DGL013"},
+            )
+            == []
+        )
+
+
+# ----------------------------------------------------------------------
+# pragmas
+# ----------------------------------------------------------------------
+
+
+class TestPragmas:
+    PATH = "src/repro/sampling/snippet.py"
+
+    def test_dgl_disable_suppresses_exactly_the_named_rule(self) -> None:
+        assert (
+            codes(
+                {
+                    self.PATH: (
+                        "import numpy as np\n"
+                        "rng = np.random.default_rng()  # dgl: disable=DGL001\n"
+                    )
+                }
+            )
+            == []
+        )
+
+    def test_dgl_disable_with_wrong_code_does_not_suppress(self) -> None:
+        result = analyze(
+            {
+                self.PATH: (
+                    "import numpy as np\n"
+                    "rng = np.random.default_rng()  # dgl: disable=DGL004\n"
+                )
+            }
+        )
+        found = {f.code for f in result.findings}
+        assert "DGL001" in found  # the real finding survives
+        assert "DGL099" in found  # and the useless pragma is reported
+
+    def test_unused_suppression_is_reported(self) -> None:
+        result = analyze(
+            {self.PATH: "x = 1  # dgl: disable=DGL007\n"}
+        )
+        assert [f.code for f in result.findings] == ["DGL099"]
+        assert "DGL007" in result.findings[0].message
+
+    def test_unused_detection_skipped_under_select(self) -> None:
+        assert (
+            codes(
+                {self.PATH: "x = 1  # dgl: disable=DGL007\n"},
+                select={"DGL001"},
+            )
+            == []
+        )
+
+    def test_bare_noqa_still_works_without_unused_reporting(self) -> None:
+        assert (
+            codes(
+                {
+                    self.PATH: (
+                        "import numpy as np\n"
+                        "rng = np.random.default_rng()  # noqa\n"
+                    )
+                }
+            )
+            == []
+        )
+
+    def test_docstring_example_is_not_a_pragma(self) -> None:
+        source = (
+            '"""Suppress with `# dgl: disable=DGL001` on the line."""\n'
+            "x = 1\n"
+        )
+        assert parse_pragmas(source) == {}
+
+    def test_multiple_codes_one_pragma(self) -> None:
+        pragmas = parse_pragmas("y = a == 1.0  # dgl: disable=DGL004, DGL001\n")
+        assert pragmas[1].dgl_codes == ("DGL004", "DGL001")
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+
+
+def _finding(path: str, line: int, code: str, message: str) -> Finding:
+    return Finding(path=path, line=line, col=1, code=code, message=message)
+
+
+class TestBaseline:
+    def test_round_trip_absorbs_findings_line_independently(
+        self, tmp_path: Path
+    ) -> None:
+        old = [_finding("src/a.py", 10, "DGL004", "float equality")]
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(old, baseline_file)
+        # the same finding, drifted to another line, still matches
+        drifted = [_finding("src/a.py", 99, "DGL004", "float equality")]
+        fresh, stale = apply_baseline(drifted, load_baseline(baseline_file))
+        assert fresh == [] and not stale
+
+    def test_new_findings_are_not_absorbed(self, tmp_path: Path) -> None:
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(
+            [_finding("src/a.py", 1, "DGL004", "float equality")], baseline_file
+        )
+        new = [
+            _finding("src/a.py", 1, "DGL004", "float equality"),
+            _finding("src/a.py", 2, "DGL004", "other message"),
+        ]
+        fresh, stale = apply_baseline(new, load_baseline(baseline_file))
+        assert [f.message for f in fresh] == ["other message"]
+        assert not stale
+
+    def test_counts_are_a_multiset(self, tmp_path: Path) -> None:
+        pair = [
+            _finding("src/a.py", 1, "DGL004", "float equality"),
+            _finding("src/a.py", 2, "DGL004", "float equality"),
+        ]
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(pair, baseline_file)
+        triple = pair + [_finding("src/a.py", 3, "DGL004", "float equality")]
+        fresh, _stale = apply_baseline(triple, load_baseline(baseline_file))
+        assert len(fresh) == 1
+
+    def test_stale_entries_are_reported(self, tmp_path: Path) -> None:
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(
+            [_finding("src/gone.py", 1, "DGL004", "fixed long ago")],
+            baseline_file,
+        )
+        fresh, stale = apply_baseline([], load_baseline(baseline_file))
+        assert fresh == []
+        assert sum(stale.values()) == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path: Path) -> None:
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_committed_baseline_loads(self) -> None:
+        baseline = load_baseline(
+            REPO_ROOT / "tools" / "digest_analyzer" / "baseline.json"
+        )
+        assert baseline  # grandfathered findings exist and parse
+
+
+# ----------------------------------------------------------------------
+# schema facts (static parse)
+# ----------------------------------------------------------------------
+
+
+class TestSchemaFacts:
+    def test_real_schema_parses(self) -> None:
+        facts = parse_schema_source(SCHEMA_TEXT, SCHEMA_PATH)
+        assert "walk" in facts.spans
+        assert "fault" in facts.events
+        assert facts.resolve_ref("repro.obs.schema.SPAN_WALK") == "walk"
+        assert facts.resolve_ref("somewhere.else.SPAN_WALK") is None
+        assert "outcome" in facts.spans["walk"].required
+
+    def test_restructured_registry_fails_loudly(self) -> None:
+        with pytest.raises(SchemaParseError):
+            parse_schema_source(
+                "SPAN_SCHEMAS = build_registry()\nEVENT_SCHEMAS = {}\n",
+                "schema.py",
+            )
+
+
+# ----------------------------------------------------------------------
+# engine: unparseable files, cache, SARIF
+# ----------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_syntax_error_is_a_finding_not_a_crash(self) -> None:
+        result = analyze({"src/repro/core/broken.py": "def f(:\n    pass\n"})
+        broken = [
+            f for f in result.findings if f.path == "src/repro/core/broken.py"
+        ]
+        assert [f.code for f in broken] == ["DGL000"]
+        assert broken[0].line == 1
+        assert result.parse_failures == 1
+
+    def test_null_bytes_are_a_finding_not_a_crash(self) -> None:
+        result = analyze({"src/repro/core/binary.py": "x = 1\x00"})
+        assert [
+            f.code
+            for f in result.findings
+            if f.path == "src/repro/core/binary.py"
+        ] == ["DGL000"]
+
+    def test_cache_hits_on_second_run(self, tmp_path: Path) -> None:
+        (tmp_path / "proj").mkdir()
+        target = tmp_path / "proj" / "mod.py"
+        target.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        cache_file = tmp_path / "cache.json"
+        first = analyze_paths(
+            [tmp_path / "proj"], repo_root=tmp_path, cache_path=cache_file
+        )
+        assert (first.cache_hits, first.cache_misses) == (0, 1)
+        second = analyze_paths(
+            [tmp_path / "proj"], repo_root=tmp_path, cache_path=cache_file
+        )
+        assert (second.cache_hits, second.cache_misses) == (1, 0)
+        assert [f.code for f in second.findings] == [
+            f.code for f in first.findings
+        ]
+
+    def test_cache_invalidated_by_content_change(self, tmp_path: Path) -> None:
+        (tmp_path / "proj").mkdir()
+        target = tmp_path / "proj" / "mod.py"
+        target.write_text("x = 1\n")
+        cache_file = tmp_path / "cache.json"
+        analyze_paths(
+            [tmp_path / "proj"], repo_root=tmp_path, cache_path=cache_file
+        )
+        target.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        result = analyze_paths(
+            [tmp_path / "proj"], repo_root=tmp_path, cache_path=cache_file
+        )
+        assert result.cache_misses == 1
+        assert [f.code for f in result.findings] == ["DGL001"]
+
+    def test_sarif_document_shape(self) -> None:
+        finding = _finding("src/a.py", 3, "DGL011", "stream crossing")
+        document = json.loads(
+            render_sarif([finding], {"DGL011": ("summary", "rationale")}, "1")
+        )
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "digest-analyzer"
+        result = run["results"][0]
+        assert result["ruleId"] == "DGL011"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/a.py"
+        assert location["region"]["startLine"] == 3
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids.index("DGL011") == result["ruleIndex"]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_list_rules_covers_the_full_catalog(self) -> None:
+        process = run_cli("--list-rules")
+        assert process.returncode == 0
+        for code in (
+            "DGL000",
+            "DGL001",
+            "DGL008",
+            "DGL009",
+            "DGL010",
+            "DGL011",
+            "DGL012",
+            "DGL013",
+            "DGL099",
+        ):
+            assert code in process.stdout
+        assert set(RULE_CATALOG) >= {"DGL009", "DGL013", "DGL099"}
+
+    def test_findings_exit_one_and_render_locations(
+        self, tmp_path: Path
+    ) -> None:
+        bad = tmp_path / "src" / "repro" / "sampling" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        process = run_cli(
+            "--root", str(tmp_path), "--no-cache", "--select", "DGL001"
+        )
+        assert process.returncode == 1
+        assert "bad.py:2:7: DGL001" in process.stdout
+
+    def test_unknown_rule_code_exits_two(self) -> None:
+        process = run_cli("--select", "DGL999", "src")
+        assert process.returncode == 2
+
+    def test_missing_path_exits_two(self) -> None:
+        process = run_cli("definitely/not/here")
+        assert process.returncode == 2
+
+    def test_sarif_output_is_written(self, tmp_path: Path) -> None:
+        bad = tmp_path / "src" / "repro" / "sampling" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        sarif_file = tmp_path / "out.sarif"
+        process = run_cli(
+            "--root",
+            str(tmp_path),
+            "--no-cache",
+            "--sarif",
+            str(sarif_file),
+        )
+        assert process.returncode == 1
+        document = json.loads(sarif_file.read_text())
+        assert document["runs"][0]["results"]
+
+    def test_write_baseline_then_clean(self, tmp_path: Path) -> None:
+        bad = tmp_path / "src" / "repro" / "sampling" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        write = run_cli("--root", str(tmp_path), "--no-cache", "--write-baseline")
+        assert write.returncode == 0
+        check = run_cli("--root", str(tmp_path), "--no-cache")
+        assert check.returncode == 0, check.stdout + check.stderr
+
+
+# ----------------------------------------------------------------------
+# the repository meta-test
+# ----------------------------------------------------------------------
+
+
+class TestRepositoryIsClean:
+    def test_analyzer_reports_zero_non_baselined_findings(self) -> None:
+        """The CI invariant: the repo analyzes clean against its own
+        committed baseline (and the baseline itself has no stale
+        entries)."""
+        process = run_cli("--no-cache", "--stats")
+        assert process.returncode == 0, process.stdout + process.stderr
+        assert "stale baseline entry" not in process.stderr
+
+    def test_runs_fast_enough_for_ci(self) -> None:
+        import time
+
+        started = time.perf_counter()
+        run_cli("--no-cache")
+        elapsed = time.perf_counter() - started
+        # "under a few seconds" with generous CI headroom
+        assert elapsed < 30.0

@@ -1,0 +1,210 @@
+"""CLI: ``python -m tools.digest_analyzer [options] [paths]``.
+
+Exit status: 0 clean (baselined findings do not fail the run), 1 new
+findings reported, 2 usage/configuration error. Default output is one
+``path:line:col: CODE message`` line per finding, ruff/flake8-style;
+``--sarif FILE`` additionally writes SARIF 2.1.0 for code scanning.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+from pathlib import Path
+
+from tools.digest_analyzer import (
+    ANALYZER_VERSION,
+    DEFAULT_BASELINE_PATH,
+    DEFAULT_CACHE_PATH,
+    DEFAULT_ROOTS,
+    RULE_CATALOG,
+    analyze_paths,
+    write_baseline,
+)
+from tools.digest_analyzer.baseline import BaselineError
+from tools.digest_analyzer.sarif import render_sarif
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.digest_analyzer",
+        description=(
+            "Cross-module static analysis enforcing the Digest "
+            "reproduction's simulation invariants (DGL001-DGL013). "
+            "Suppress a single line with '# dgl: disable=DGL0xx'."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to analyze (directories are walked for "
+            f"*.py; default: {' '.join(DEFAULT_ROOTS)})"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=".",
+        help="repository root for relative paths, schema, cache, baseline",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="also write findings as SARIF 2.1.0 to FILE",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=str(DEFAULT_BASELINE_PATH),
+        help="baseline file of grandfathered findings (relative to --root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from current findings and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=str(DEFAULT_CACHE_PATH),
+        help="per-file result cache (relative to --root)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="analyze every file from scratch",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print run statistics (files, cache hits, timing) to stderr",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for code in sorted(RULE_CATALOG):
+            name, summary, _rationale = RULE_CATALOG[code]
+            print(f"{code} [{name}]")
+            print(f"    {summary}")
+        return 0
+
+    root = Path(options.root)
+    if not root.is_dir():
+        print(f"error: --root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    raw_paths = options.paths or [
+        str(root / part) for part in DEFAULT_ROOTS if (root / part).is_dir()
+    ]
+    select = None
+    if options.select:
+        select = frozenset(
+            code.strip().upper() for code in options.select.split(",")
+        )
+        unknown = select - set(RULE_CATALOG)
+        if unknown:
+            print(
+                f"error: unknown rule codes: {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    baseline_path = None
+    if not options.no_baseline and not options.write_baseline:
+        baseline_path = root / options.baseline
+    cache_path = None if options.no_cache else root / options.cache
+
+    started = time.perf_counter()
+    try:
+        result = analyze_paths(
+            [Path(p) for p in raw_paths],
+            repo_root=root,
+            select=select,
+            cache_path=cache_path,
+            baseline_path=baseline_path,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: no such path: {exc}", file=sys.stderr)
+        return 2
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    if options.write_baseline:
+        count = write_baseline(result.findings, root / options.baseline)
+        print(
+            f"digest-analyzer: baseline written to {options.baseline} "
+            f"({count} entries, {len(result.findings)} findings)",
+            file=sys.stderr,
+        )
+        return 0
+
+    for finding in result.findings:
+        print(finding.render())
+    if options.sarif:
+        docs = {
+            code: (summary, rationale)
+            for code, (_name, summary, rationale) in RULE_CATALOG.items()
+        }
+        Path(options.sarif).write_text(
+            render_sarif(result.findings, docs, ANALYZER_VERSION),
+            encoding="utf-8",
+        )
+
+    if result.schema_error:
+        print(
+            f"digest-analyzer: warning: {result.schema_error} "
+            "(DGL009/DGL010 skipped)",
+            file=sys.stderr,
+        )
+    for key in sorted(result.stale_baseline):
+        print(
+            f"digest-analyzer: stale baseline entry (already fixed): "
+            f"{key[0]}: {key[1]} {key[2]}",
+            file=sys.stderr,
+        )
+    if options.stats:
+        print(
+            f"digest-analyzer: {result.file_count} files in {elapsed:.2f}s "
+            f"(cache: {result.cache_hits} hits / {result.cache_misses} "
+            f"misses), {len(result.findings)} new findings, "
+            f"{result.baselined} baselined",
+            file=sys.stderr,
+        )
+
+    if result.findings:
+        count = len(result.findings)
+        plural = "" if count == 1 else "s"
+        print(
+            f"digest-analyzer: {count} finding{plural}", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

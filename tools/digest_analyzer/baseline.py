@@ -1,0 +1,104 @@
+"""The committed findings baseline: grandfathered debt, pinned.
+
+Extending rules to new paths (or adding interprocedural rules) surfaces
+pre-existing findings that are real but out of scope to fix in the same
+change. Those are recorded here — keyed by ``(path, code, message)``
+with a count, deliberately *without* line numbers so unrelated edits
+above a finding don't invalidate the baseline — and the analyzer exits
+clean as long as no *new* finding appears.
+
+The contract: the baseline only ever shrinks. ``--write-baseline``
+regenerates it from the current findings; review the diff like code.
+A baseline entry that no longer matches anything is reported as stale
+(exit code unchanged) so fixed debt gets removed from the file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from tools.digest_analyzer.findings import Finding
+
+#: default committed location, repo-relative
+DEFAULT_BASELINE_PATH = Path("tools") / "digest_analyzer" / "baseline.json"
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(RuntimeError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: Path) -> Counter[tuple[str, str, str]]:
+    """Baseline multiset; missing file means an empty baseline."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return Counter()
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != BASELINE_VERSION
+        or not isinstance(document.get("findings"), list)
+    ):
+        raise BaselineError(
+            f"baseline {path} has an unrecognized layout "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    baseline: Counter[tuple[str, str, str]] = Counter()
+    for entry in document["findings"]:
+        try:
+            key = (entry["path"], entry["code"], entry["message"])
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(
+                f"baseline {path} holds a malformed entry: {entry!r}"
+            ) from exc
+        baseline[key] += count
+    return baseline
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter[tuple[str, str, str]]
+) -> tuple[list[Finding], Counter[tuple[str, str, str]]]:
+    """Split into (new findings, stale baseline entries).
+
+    Matching is multiset subtraction: each baseline entry absorbs at
+    most ``count`` findings with the same key. Whatever the baseline
+    fails to absorb is new; whatever it over-declares is stale.
+    """
+    remaining = Counter(baseline)
+    fresh: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    stale = Counter({key: n for key, n in remaining.items() if n > 0})
+    return fresh, stale
+
+
+def write_baseline(findings: list[Finding], path: Path) -> int:
+    """Regenerate the baseline from current findings; returns entry count."""
+    counts: Counter[tuple[str, str, str]] = Counter(
+        finding.baseline_key() for finding in findings
+    )
+    entries = [
+        {"path": key[0], "code": key[1], "message": key[2], "count": count}
+        for key, count in sorted(counts.items())
+    ]
+    document = {"version": BASELINE_VERSION, "findings": entries}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)

@@ -1,0 +1,106 @@
+"""Per-file result cache keyed by content hash.
+
+Pass 1 (parse + fact extraction + per-file rules) dominates analyzer
+runtime; its result depends only on the file's bytes and the analyzer
+version. So each file's :class:`FileFacts` and *raw* per-file findings
+are cached under ``sha256(bytes)`` — suppression pragmas and the
+baseline are run-time policy applied after pass 2, which is exactly why
+the cached findings are stored pre-suppression.
+
+The cache is one JSON document. A corrupt or version-skewed cache is
+silently treated as empty — it is an accelerator, never a correctness
+input — and rewritten on save.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from tools.digest_analyzer.extract import ANALYZER_VERSION, FileFacts
+from tools.digest_analyzer.findings import Finding
+
+#: default on-disk location, repo-relative (gitignored)
+DEFAULT_CACHE_PATH = Path(".digest_analyzer_cache.json")
+
+
+def content_key(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ResultCache:
+    """Maps path -> (content hash, facts, raw findings)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: Path) -> "ResultCache":
+        cache = cls()
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != ANALYZER_VERSION
+            or not isinstance(document.get("files"), dict)
+        ):
+            return cache
+        cache._entries = document["files"]
+        return cache
+
+    def save(self, path: Path) -> None:
+        document = {"version": ANALYZER_VERSION, "files": self._entries}
+        try:
+            path.write_text(
+                json.dumps(document, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a cache that cannot be written is just a slow cache
+
+    def lookup(
+        self, path: str, key: str
+    ) -> tuple[FileFacts, list[Finding]] | None:
+        entry = self._entries.get(path)
+        if entry is None or entry.get("key") != key:
+            self.misses += 1
+            return None
+        try:
+            facts = FileFacts.from_json(entry["facts"])
+            findings = [Finding(**f) for f in entry["findings"]]
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return facts, findings
+
+    def store(
+        self, path: str, key: str, facts: FileFacts, findings: list[Finding]
+    ) -> None:
+        self._entries[path] = {
+            "key": key,
+            "facts": facts.to_json(),
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "code": f.code,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        }
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files no longer analyzed."""
+        self._entries = {
+            path: entry
+            for path, entry in self._entries.items()
+            if path in live_paths
+        }

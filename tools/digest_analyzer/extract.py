@@ -1,0 +1,589 @@
+"""Pass 1: per-file fact extraction (and the per-file rules).
+
+The analyzer never holds every AST at once. Each file is parsed exactly
+once and reduced to a :class:`FileFacts` summary — functions, resolved
+call edges, direct raises, wall-clock reads, RNG taint flows, trace
+span/event call sites, and trace-name literals. The summaries are small,
+JSON-serializable (so the on-disk cache can store them keyed by content
+hash), and everything pass 2 (:mod:`tools.digest_analyzer.project`)
+needs to run the cross-module rules.
+
+The per-file rules (DGL001-DGL008) run here too, during the same parse;
+their *raw* findings (pre-suppression, pre-baseline) are cached alongside
+the facts. Suppression and baselining are run-time policy, applied by the
+engine after pass 2, so cached entries stay valid when only a pragma or
+the baseline changes elsewhere.
+
+Name resolution is import-aware but deliberately shallow, matching the
+per-file rules: a call is attributed to ``repro.sampling.pool.SamplePool``
+only when the receiver is a plain Name/Attribute chain the import map can
+root. ``self.method`` calls resolve to the enclosing class; bare names
+resolve to module-level definitions. Aliasing through arbitrary locals is
+not chased — except for RNG values, whose assignments and aliases *are*
+tracked (that is what DGL011 is for).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from tools.digest_analyzer.findings import Finding
+from tools.digest_analyzer.rules_local import (
+    _WALL_CLOCK_CALLS,
+    ALL_RULES,
+    Rule,
+    _dotted_parts,
+    _import_map,
+    _resolve,
+)
+
+#: Bump to invalidate every cached entry (facts layout or rule change).
+ANALYZER_VERSION = "1"
+
+#: Local markers the resolver uses for names pass 2 must finish resolving.
+LOCAL_PREFIX = "@local."  # module-level def in the same file
+SELF_PREFIX = "@self."  # method on the enclosing class
+
+
+@dataclass
+class CallFact:
+    """One resolved call site inside a function."""
+
+    lineno: int
+    col: int
+    #: canonical dotted target, ``@local.f``, or ``@self.meth``
+    target: str
+    #: RNG-ish arguments: ``(slot, taint)`` where slot is a 0-based
+    #: positional index or a keyword name, taint the local taint root
+    rng_args: list[tuple[int | str, str]] = field(default_factory=list)
+
+
+@dataclass
+class FunctionFact:
+    """One function or method, summarized."""
+
+    qualname: str  # module-relative, e.g. "ProtocolSampler._handle_timeout"
+    lineno: int
+    params: list[str]
+    rng_params: list[str]
+    is_handler: bool
+    calls: list[CallFact] = field(default_factory=list)
+    #: direct ``raise`` statements: ``(lineno, exception name or "")``
+    raises: list[tuple[int, str]] = field(default_factory=list)
+    wall_clock: list[tuple[int, str]] = field(default_factory=list)
+
+
+@dataclass
+class TraceCallFact:
+    """One tracer call site: span/event/add_event open, end, or set."""
+
+    kind: str  # "span" | "event" | "add_event" | "end" | "set"
+    lineno: int
+    col: int
+    function: str
+    #: literal name value, when the name argument was a string constant
+    name_literal: str | None = None
+    #: dotted resolution of a constant name argument (e.g.
+    #: ``repro.obs.schema.SPAN_WALK``); None when literal or unresolvable
+    name_ref: str | None = None
+    #: attribute keys set at this call
+    attr_keys: list[str] = field(default_factory=list)
+    #: rendered span variable: assignment target for "span", the span
+    #: argument for "end", the receiver for "set"/"add_event"
+    span_var: str | None = None
+
+
+@dataclass
+class NameLiteralFact:
+    """A string literal in a trace-name position (DGL010 raw material).
+
+    ``context`` records the syntactic position: ``name_cmp`` (compared
+    against an ``.name`` attribute) or ``spans_named`` (argument to
+    ``Trace.spans_named``).
+    """
+
+    lineno: int
+    col: int
+    value: str
+    context: str
+
+
+@dataclass
+class FileFacts:
+    """Everything pass 2 needs to know about one file."""
+
+    path: str
+    functions: list[FunctionFact] = field(default_factory=list)
+    trace_calls: list[TraceCallFact] = field(default_factory=list)
+    name_literals: list[NameLiteralFact] = field(default_factory=list)
+    parse_error: bool = False
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "parse_error": self.parse_error,
+            "functions": [
+                {
+                    "qualname": f.qualname,
+                    "lineno": f.lineno,
+                    "params": f.params,
+                    "rng_params": f.rng_params,
+                    "is_handler": f.is_handler,
+                    "calls": [
+                        {
+                            "lineno": c.lineno,
+                            "col": c.col,
+                            "target": c.target,
+                            "rng_args": [list(a) for a in c.rng_args],
+                        }
+                        for c in f.calls
+                    ],
+                    "raises": [list(r) for r in f.raises],
+                    "wall_clock": [list(w) for w in f.wall_clock],
+                }
+                for f in self.functions
+            ],
+            "trace_calls": [
+                {
+                    "kind": t.kind,
+                    "lineno": t.lineno,
+                    "col": t.col,
+                    "function": t.function,
+                    "name_literal": t.name_literal,
+                    "name_ref": t.name_ref,
+                    "attr_keys": t.attr_keys,
+                    "span_var": t.span_var,
+                }
+                for t in self.trace_calls
+            ],
+            "name_literals": [
+                {
+                    "lineno": n.lineno,
+                    "col": n.col,
+                    "value": n.value,
+                    "context": n.context,
+                }
+                for n in self.name_literals
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "FileFacts":
+        facts = cls(path=data["path"], parse_error=data["parse_error"])
+        for f in data["functions"]:
+            fact = FunctionFact(
+                qualname=f["qualname"],
+                lineno=f["lineno"],
+                params=list(f["params"]),
+                rng_params=list(f["rng_params"]),
+                is_handler=f["is_handler"],
+                raises=[(r[0], r[1]) for r in f["raises"]],
+                wall_clock=[(w[0], w[1]) for w in f["wall_clock"]],
+            )
+            fact.calls = [
+                CallFact(
+                    lineno=c["lineno"],
+                    col=c["col"],
+                    target=c["target"],
+                    rng_args=[(a[0], a[1]) for a in c["rng_args"]],
+                )
+                for c in f["calls"]
+            ]
+            facts.functions.append(fact)
+        facts.trace_calls = [TraceCallFact(**t) for t in data["trace_calls"]]
+        facts.name_literals = [
+            NameLiteralFact(**n) for n in data["name_literals"]
+        ]
+        return facts
+
+
+#: naming convention for scheduled-delivery entry points (mirrors DGL006)
+_HANDLER_PREFIXES = ("_handle", "_deliver", "_receive", "_on_")
+
+#: tracer receivers: last component of the receiver chain must hit this
+_TRACER_HINT = "tracer"
+_SPAN_HINT = "span"
+
+
+def _render(node: ast.expr) -> str | None:
+    """Best-effort source rendering of a Name/Attribute/Subscript chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _render(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    if isinstance(node, ast.Subscript):
+        base = _render(node.value)
+        return None if base is None else f"{base}[...]"
+    return None
+
+
+def _is_rngish_param(arg: ast.arg) -> bool:
+    """Generator-annotated, or named by the ``rng`` convention."""
+    if arg.arg == "rng" or arg.arg.endswith("_rng"):
+        return True
+    if arg.annotation is not None:
+        try:
+            rendered = ast.unparse(arg.annotation)
+        except Exception:  # pragma: no cover - malformed annotation
+            return False
+        return "Generator" in rendered
+    return False
+
+
+class _FunctionExtractor:
+    """Walks one function body; collects calls, raises, taints, spans."""
+
+    def __init__(
+        self,
+        fact: FunctionFact,
+        imports: dict[str, str],
+        module_defs: frozenset[str],
+        facts: FileFacts,
+    ) -> None:
+        self.fact = fact
+        self.imports = imports
+        self.module_defs = module_defs
+        self.facts = facts
+        #: local taint: alias name -> taint root name
+        self.taint: dict[str, str] = {p: p for p in fact.rng_params}
+        self._fresh = 0
+
+    # -- resolution ----------------------------------------------------
+
+    def _resolve_call_target(self, func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name):
+            if func.id in self.imports:
+                return self.imports[func.id]
+            if func.id in self.module_defs:
+                return LOCAL_PREFIX + func.id
+            return None
+        if isinstance(func, ast.Attribute):
+            parts = _dotted_parts(func)
+            if parts is None:
+                return None
+            if parts[0] == "self" and len(parts) == 2:
+                return SELF_PREFIX + parts[1]
+            resolved = _resolve(func, self.imports)
+            return resolved
+        return None
+
+    def _taint_of(self, node: ast.expr) -> str | None:
+        """Taint root of an expression used as a call argument."""
+        if isinstance(node, ast.Name):
+            return self.taint.get(node.id)
+        if isinstance(node, ast.Call):
+            target = self._resolve_call_target(node.func)
+            if target == "numpy.random.default_rng":
+                self._fresh += 1
+                return f"<fresh#{self._fresh}>"
+        return None
+
+    # -- statement walk ------------------------------------------------
+
+    def walk(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are extracted as their own functions
+        if isinstance(stmt, ast.Raise):
+            exc = stmt.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = ""
+            if isinstance(exc, ast.Name):
+                name = exc.id
+            elif isinstance(exc, ast.Attribute):
+                name = exc.attr
+            self.fact.raises.append((stmt.lineno, name))
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            self._visit_assignment(stmt)
+        for node in ast.iter_child_nodes(stmt):
+            if isinstance(node, ast.stmt):
+                self._visit_stmt(node)
+            else:
+                self._visit_expr_tree(node)
+
+    def _visit_assignment(self, stmt: ast.Assign | ast.AnnAssign) -> None:
+        value = stmt.value
+        if value is None:
+            return
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        simple = [t.id for t in targets if isinstance(t, ast.Name)]
+        # rng taint: fresh construction or alias of a tainted local
+        taint = self._taint_of(value)
+        for name in simple:
+            if taint is not None:
+                self.taint[name] = taint
+            else:
+                self.taint.pop(name, None)
+        # span variable: record the assignment target on the trace fact
+        if isinstance(value, ast.Call):
+            trace = self._match_trace_call(value)
+            if trace is not None and trace.kind == "span":
+                rendered = [_render(t) for t in targets]
+                trace.span_var = next(
+                    (r for r in rendered if r is not None), None
+                )
+
+    def _visit_expr_tree(self, node: ast.AST) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, ast.Call):
+                self._visit_call(child)
+            elif isinstance(child, ast.Compare):
+                self._visit_compare(child)
+
+    # -- call handling -------------------------------------------------
+
+    def _visit_call(self, call: ast.Call) -> None:
+        target = self._resolve_call_target(call.func)
+        if target is not None:
+            if target in _WALL_CLOCK_CALLS:
+                self.fact.wall_clock.append((call.lineno, target))
+            fact = CallFact(lineno=call.lineno, col=call.col_offset + 1, target=target)
+            for index, arg in enumerate(call.args):
+                taint = self._taint_of(arg)
+                if taint is not None:
+                    fact.rng_args.append((index, taint))
+            for keyword in call.keywords:
+                if keyword.arg is None:
+                    continue
+                taint = self._taint_of(keyword.value)
+                if taint is not None:
+                    fact.rng_args.append((keyword.arg, taint))
+            self.fact.calls.append(fact)
+        trace = self._match_trace_call(call)
+        if trace is not None and trace not in self.facts.trace_calls:
+            self.facts.trace_calls.append(trace)
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "spans_named"
+            and call.args
+            and isinstance(call.args[0], ast.Constant)
+            and isinstance(call.args[0].value, str)
+        ):
+            self.facts.name_literals.append(
+                NameLiteralFact(
+                    lineno=call.args[0].lineno,
+                    col=call.args[0].col_offset + 1,
+                    value=call.args[0].value,
+                    context="spans_named",
+                )
+            )
+
+    _trace_seen: dict[int, TraceCallFact] = {}
+
+    def _match_trace_call(self, call: ast.Call) -> TraceCallFact | None:
+        """Recognize tracer call sites; memoized per Call node so the
+        assignment pass and the expression pass agree on one fact."""
+        key = id(call)
+        if key in self._trace_seen:
+            return self._trace_seen[key]
+        fact = self._build_trace_call(call)
+        if fact is not None:
+            self._trace_seen[key] = fact
+        return fact
+
+    def _build_trace_call(self, call: ast.Call) -> TraceCallFact | None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = _render(func.value) or ""
+        receiver_last = receiver.rsplit(".", 1)[-1].split("[", 1)[0]
+        kind: str | None = None
+        if func.attr in ("span", "event") and _TRACER_HINT in receiver_last:
+            kind = func.attr
+        elif func.attr == "add_event" and _SPAN_HINT in receiver_last:
+            kind = "add_event"
+        elif func.attr == "end" and _TRACER_HINT in receiver_last:
+            kind = "end"
+        elif func.attr == "set" and _SPAN_HINT in receiver_last:
+            kind = "set"
+        if kind is None:
+            return None
+        fact = TraceCallFact(
+            kind=kind,
+            lineno=call.lineno,
+            col=call.col_offset + 1,
+            function=self.fact.qualname,
+        )
+        skip_keys = {
+            "span": ("time", "parent"),
+            "event": ("time", "span"),
+            "add_event": (),
+            "end": ("time",),
+            "set": (),
+        }[kind]
+        fact.attr_keys = [
+            k.arg
+            for k in call.keywords
+            if k.arg is not None and k.arg not in skip_keys
+        ]
+        name_arg: ast.expr | None = None
+        if kind in ("span", "event") and call.args:
+            name_arg = call.args[0]
+        elif kind == "add_event" and len(call.args) >= 2:
+            name_arg = call.args[1]
+        if name_arg is not None:
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                fact.name_literal = name_arg.value
+            else:
+                fact.name_ref = _resolve(name_arg, self.imports)
+        if kind == "end" and call.args:
+            fact.span_var = _render(call.args[0])
+        elif kind in ("add_event", "set"):
+            fact.span_var = receiver
+        return fact
+
+    # -- comparisons (DGL010 raw material) -----------------------------
+
+    def _visit_compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        against_name = any(
+            isinstance(op, ast.Attribute) and op.attr == "name"
+            for op in operands
+        )
+        if not against_name:
+            return
+        for op in operands:
+            candidates: list[ast.expr] = [op]
+            if isinstance(op, (ast.Tuple, ast.List, ast.Set)):
+                candidates = list(op.elts)
+            for candidate in candidates:
+                if isinstance(candidate, ast.Constant) and isinstance(
+                    candidate.value, str
+                ):
+                    self.facts.name_literals.append(
+                        NameLiteralFact(
+                            lineno=candidate.lineno,
+                            col=candidate.col_offset + 1,
+                            value=candidate.value,
+                            context="name_cmp",
+                        )
+                    )
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every def in the module with its module-relative qualname."""
+
+    def walk(
+        body: list[ast.stmt], prefix: str
+    ) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}" if prefix else node.name
+                yield qual, node
+                yield from walk(node.body, f"{qual}.")
+            elif isinstance(node, ast.ClassDef):
+                yield from walk(
+                    node.body, f"{prefix}{node.name}." if prefix else f"{node.name}."
+                )
+            elif isinstance(node, (ast.If, ast.Try, ast.With)):
+                # defs guarded by TYPE_CHECKING / try-import still count
+                yield from walk(node.body, prefix)
+
+    yield from walk(tree.body, "")
+
+
+def extract_file_facts(
+    source: str, path: str
+) -> tuple[FileFacts, list[Finding]]:
+    """Parse ``source`` once; return its facts and raw per-file findings.
+
+    Syntax errors (and the null-byte/decoding failures ``ast.parse``
+    raises as ``ValueError``) become a single DGL000 finding and an
+    empty, ``parse_error``-marked facts record — one broken file must
+    never abort the whole run.
+    """
+    facts = FileFacts(path=path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        facts.parse_error = True
+        return facts, [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="DGL000",
+                message=f"syntax error prevents analysis: {exc.msg}",
+            )
+        ]
+    except ValueError as exc:
+        facts.parse_error = True
+        return facts, [
+            Finding(
+                path=path,
+                line=1,
+                col=1,
+                code="DGL000",
+                message=f"unparseable file: {exc}",
+            )
+        ]
+
+    imports = _import_map(tree)
+    module_defs = frozenset(
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    )
+
+    # module level executes too: wrap the module body as "<module>"
+    module_fact = FunctionFact(
+        qualname="<module>",
+        lineno=1,
+        params=[],
+        rng_params=[],
+        is_handler=False,
+    )
+    extractor = _FunctionExtractor(module_fact, imports, module_defs, facts)
+    extractor._trace_seen = {}
+    extractor.walk(tree.body)
+    facts.functions.append(module_fact)
+
+    for qualname, node in _iter_functions(tree):
+        ordered = [
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ]
+        fact = FunctionFact(
+            qualname=qualname,
+            lineno=node.lineno,
+            params=[a.arg for a in ordered],
+            rng_params=[a.arg for a in ordered if _is_rngish_param(a)],
+            is_handler=node.name.startswith(_HANDLER_PREFIXES),
+        )
+        extractor = _FunctionExtractor(fact, imports, module_defs, facts)
+        extractor._trace_seen = {}
+        extractor.walk(node.body)
+        facts.functions.append(fact)
+
+    findings = _run_local_rules(tree, path)
+    return facts, findings
+
+
+def _run_local_rules(
+    tree: ast.Module, path: str, rules: tuple[Rule, ...] = ALL_RULES
+) -> list[Finding]:
+    """The migrated per-file rules (DGL001-DGL008), unfiltered."""
+    from pathlib import PurePosixPath
+
+    parts = tuple(PurePosixPath(path.replace("\\", "/")).parts)
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.applies_to(parts):
+            findings.extend(rule.check(tree, path))
+    return sorted(findings)

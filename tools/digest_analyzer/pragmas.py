@@ -1,0 +1,151 @@
+"""Suppression pragmas: legacy ``# noqa`` and scoped ``# dgl: disable=``.
+
+Two grammars are honored:
+
+* ``# noqa`` / ``# noqa: DGL001, DGL004`` — the flake8/ruff grammar the
+  per-file linter has always supported. A bare ``# noqa`` silences every
+  rule on its line. Legacy: tolerated, but it carries no unused-detection.
+* ``# dgl: disable=DGL011`` / ``# dgl: disable=DGL011,DGL012`` — the
+  analyzer's own pragma. It must name explicit codes (there is no bare
+  form: a suppression that does not say what it suppresses cannot be
+  audited), and every named code must actually suppress a finding on that
+  line — an unused suppression is itself reported as
+  :data:`UNUSED_SUPPRESSION_CODE` so stale pragmas cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from tools.digest_analyzer.findings import Finding
+
+#: Code reported for a ``# dgl: disable=`` code that suppressed nothing.
+UNUSED_SUPPRESSION_CODE = "DGL099"
+
+#: bare form, or "noqa:" followed by comma-separated codes.
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?", re.I
+)
+
+#: "dgl: disable=" followed by comma-separated codes (no bare form). The
+#: lookahead keeps prose like "DGL0xx" from half-matching as "DGL0".
+_DGL_RE = re.compile(
+    r"#\s*dgl:\s*disable=(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)(?![A-Za-z])",
+    re.I,
+)
+
+
+@dataclass
+class LinePragmas:
+    """Suppressions declared on one physical line."""
+
+    line: int
+    #: None = bare ``# noqa`` (silences everything on the line).
+    noqa: frozenset[str] | None | bool = False
+    #: explicit ``dgl: disable`` codes, each tracked for use.
+    dgl_codes: tuple[str, ...] = ()
+    #: column of the dgl pragma (for the unused-suppression finding).
+    dgl_col: int = 0
+    used: set[str] = field(default_factory=set)
+
+    def suppresses(self, code: str) -> bool:
+        if self.noqa is None:
+            return True
+        if isinstance(self.noqa, frozenset) and code in self.noqa:
+            return True
+        if code in self.dgl_codes:
+            self.used.add(code)
+            return True
+        return False
+
+
+def _comment_tokens(source: str) -> Iterable[tuple[int, int, str]]:
+    """``(line, col, text)`` for every real comment in the source.
+
+    Tokenizing (instead of regexing raw lines) is what keeps pragma
+    *examples* inside docstrings and string literals from being parsed
+    as live pragmas. Tokenization failures fall back to a line scan —
+    a broken file already reports DGL000, and a pragma misread there
+    suppresses findings that parse failure hides anyway.
+    """
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        for index, text in enumerate(source.splitlines(), start=1):
+            position = text.find("#")
+            if position >= 0:
+                yield index, position, text[position:]
+
+
+def parse_pragmas(source: str) -> dict[int, LinePragmas]:
+    """All suppression pragmas in the file, keyed by 1-based line."""
+    pragmas: dict[int, LinePragmas] = {}
+    for line, col, text in _comment_tokens(source):
+        entry = LinePragmas(line=line)
+        found = False
+        dgl = _DGL_RE.search(text)
+        if dgl is not None:
+            entry.dgl_codes = tuple(
+                code.strip().upper() for code in dgl.group("codes").split(",")
+            )
+            entry.dgl_col = col + dgl.start() + 1
+            found = True
+        noqa = _NOQA_RE.search(text)
+        if noqa is not None:
+            codes = noqa.group("codes")
+            entry.noqa = (
+                None
+                if codes is None
+                else frozenset(c.strip().upper() for c in codes.split(","))
+            )
+            found = True
+        if found:
+            pragmas[line] = entry
+    return pragmas
+
+
+def apply_pragmas(
+    findings: Iterable[Finding],
+    pragmas_by_path: dict[str, dict[int, LinePragmas]],
+    report_unused: bool = True,
+) -> list[Finding]:
+    """Drop suppressed findings; append unused-suppression findings.
+
+    ``pragmas_by_path`` maps each file's path to its parsed pragma table;
+    findings for paths without a table pass through untouched. With
+    ``report_unused`` (the default), every ``dgl: disable`` code that
+    suppressed nothing becomes an :data:`UNUSED_SUPPRESSION_CODE` finding
+    on the pragma's line — disable it only when running a rule subset,
+    where "unused" would be an artifact of the selection.
+    """
+    kept: list[Finding] = []
+    for finding in findings:
+        table = pragmas_by_path.get(finding.path)
+        entry = table.get(finding.line) if table else None
+        if entry is not None and entry.suppresses(finding.code):
+            continue
+        kept.append(finding)
+    if report_unused:
+        for path, table in pragmas_by_path.items():
+            for entry in table.values():
+                for code in entry.dgl_codes:
+                    if code not in entry.used:
+                        kept.append(
+                            Finding(
+                                path=path,
+                                line=entry.line,
+                                col=entry.dgl_col,
+                                code=UNUSED_SUPPRESSION_CODE,
+                                message=(
+                                    f"unused suppression: no {code} finding "
+                                    "on this line (remove the pragma)"
+                                ),
+                            )
+                        )
+    return sorted(kept)

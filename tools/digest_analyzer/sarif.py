@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 rendering for GitHub code scanning.
+
+One run, one tool ("digest-analyzer"), one result per finding. Only the
+subset of SARIF that code scanning actually consumes is emitted: rule
+metadata (id, short/full description), and per-result message + physical
+location. Paths are repo-relative with forward slashes, as the upload
+action expects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from tools.digest_analyzer.findings import Finding, _normalize_path
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "digest-analyzer"
+TOOL_URI = "https://github.com/paper-repro/digest/tree/main/tools/digest_analyzer"
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    rule_docs: Mapping[str, tuple[str, str]],
+    version: str,
+) -> str:
+    """SARIF document text. ``rule_docs`` maps code -> (summary, rationale)."""
+    findings = list(findings)
+    used_codes = sorted({f.code for f in findings} | set(rule_docs))
+    rules: list[dict[str, Any]] = []
+    index_of: dict[str, int] = {}
+    for code in used_codes:
+        summary, rationale = rule_docs.get(code, ("", ""))
+        index_of[code] = len(rules)
+        rule: dict[str, Any] = {"id": code}
+        if summary:
+            rule["shortDescription"] = {"text": summary}
+        if rationale:
+            rule["fullDescription"] = {"text": rationale}
+        rules.append(rule)
+    results = [
+        {
+            "ruleId": finding.code,
+            "ruleIndex": index_of[finding.code],
+            "level": "error",
+            "message": {"text": f"{finding.code} {finding.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _normalize_path(finding.path),
+                            "uriBaseId": "ROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": max(finding.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "version": version,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "ROOT": {"description": {"text": "repository root"}}
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,171 @@
+"""Static view of the declared trace schema (``repro.obs.schema``).
+
+The analyzer must not import the package it analyzes (a broken checkout
+would take the linter down with it, and importing executes code). So the
+schema registry is recovered from ``src/repro/obs/schema.py`` by parsing
+it: module-level ``NAME = "literal"`` assignments become the constant
+table, and the ``SPAN_SCHEMAS`` / ``EVENT_SCHEMAS`` dict comprehensions
+are walked for their ``SpanSchema(...)`` / ``EventSchema(...)`` entries.
+
+The parse is deliberately rigid — it understands exactly the shape the
+real module uses (constants referenced by name, ``required``/``optional``
+as tuples of string literals). If someone restructures the registry into
+a form this parser cannot read, :func:`load_schema_facts` raises
+``SchemaParseError`` and the analyzer fails loudly instead of silently
+checking against an empty schema.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: dotted module the constants live in (what call-site refs resolve to)
+SCHEMA_MODULE = "repro.obs.schema"
+
+#: repo-relative location of the schema module's source
+SCHEMA_SOURCE = Path("src") / "repro" / "obs" / "schema.py"
+
+
+class SchemaParseError(RuntimeError):
+    """The schema module exists but could not be statically understood."""
+
+
+@dataclass(frozen=True)
+class DeclaredShape:
+    """One declared span or event: its name and attribute keys."""
+
+    name: str
+    kind: str  # "span" | "event"
+    required: tuple[str, ...]
+    optional: tuple[str, ...] = ()
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        return frozenset(self.required) | frozenset(self.optional)
+
+
+@dataclass
+class SchemaFacts:
+    """The statically recovered schema registry."""
+
+    #: constant name (e.g. ``SPAN_WALK``) -> its string value
+    constants: dict[str, str] = field(default_factory=dict)
+    spans: dict[str, DeclaredShape] = field(default_factory=dict)
+    events: dict[str, DeclaredShape] = field(default_factory=dict)
+
+    def resolve_ref(self, dotted: str | None) -> str | None:
+        """Value of a ``repro.obs.schema.X`` reference, if it is one."""
+        if dotted is None or not dotted.startswith(SCHEMA_MODULE + "."):
+            return None
+        return self.constants.get(dotted[len(SCHEMA_MODULE) + 1 :])
+
+    @property
+    def names(self) -> frozenset[str]:
+        return frozenset(self.spans) | frozenset(self.events)
+
+    def shape_for(self, name: str) -> DeclaredShape | None:
+        return self.spans.get(name) or self.events.get(name)
+
+
+def _string_tuple(node: ast.expr, what: str) -> tuple[str, ...]:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        raise SchemaParseError(f"{what} is not a tuple of string literals")
+    values: list[str] = []
+    for element in node.elts:
+        if not isinstance(element, ast.Constant) or not isinstance(
+            element.value, str
+        ):
+            raise SchemaParseError(f"{what} holds a non-literal element")
+        values.append(element.value)
+    return tuple(values)
+
+
+def _parse_entry(
+    call: ast.Call, constants: dict[str, str], kind: str
+) -> DeclaredShape:
+    if not call.args:
+        raise SchemaParseError(f"{kind} schema entry has no name argument")
+    name_arg = call.args[0]
+    if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+        name = name_arg.value
+    elif isinstance(name_arg, ast.Name) and name_arg.id in constants:
+        name = constants[name_arg.id]
+    else:
+        raise SchemaParseError(
+            f"{kind} schema entry name is neither a literal nor a known constant"
+        )
+    required: tuple[str, ...] = ()
+    optional: tuple[str, ...] = ()
+    for keyword in call.keywords:
+        if keyword.arg == "required":
+            required = _string_tuple(keyword.value, f"{name}.required")
+        elif keyword.arg == "optional":
+            optional = _string_tuple(keyword.value, f"{name}.optional")
+    return DeclaredShape(
+        name=name, kind=kind, required=required, optional=optional
+    )
+
+
+def _registry_entries(node: ast.expr, registry: str) -> list[ast.Call]:
+    """The ``Schema(...)`` calls inside a registry dict comprehension."""
+    if not isinstance(node, ast.DictComp) or not node.generators:
+        raise SchemaParseError(f"{registry} is not a dict comprehension")
+    source = node.generators[0].iter
+    if not isinstance(source, (ast.Tuple, ast.List)):
+        raise SchemaParseError(f"{registry} does not iterate a literal tuple")
+    calls: list[ast.Call] = []
+    for element in source.elts:
+        if not isinstance(element, ast.Call):
+            raise SchemaParseError(f"{registry} holds a non-call entry")
+        calls.append(element)
+    return calls
+
+
+def parse_schema_source(source: str, path: str = str(SCHEMA_SOURCE)) -> SchemaFacts:
+    """Recover :class:`SchemaFacts` from the schema module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        raise SchemaParseError(f"cannot parse {path}: {exc}") from exc
+
+    facts = SchemaFacts()
+    registries: dict[str, ast.expr] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        if not isinstance(target, ast.Name):
+            continue
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            facts.constants[target.id] = value.value
+        elif target.id in ("SPAN_SCHEMAS", "EVENT_SCHEMAS"):
+            registries[target.id] = value
+
+    for registry, kind, store in (
+        ("SPAN_SCHEMAS", "span", facts.spans),
+        ("EVENT_SCHEMAS", "event", facts.events),
+    ):
+        if registry not in registries:
+            raise SchemaParseError(f"{path} does not define {registry}")
+        for call in _registry_entries(registries[registry], registry):
+            shape = _parse_entry(call, facts.constants, kind)
+            store[shape.name] = shape
+
+    if not facts.spans or not facts.events:
+        raise SchemaParseError(f"{path} declares an empty schema registry")
+    return facts
+
+
+def load_schema_facts(repo_root: Path) -> SchemaFacts:
+    """Parse the schema module under ``repo_root``."""
+    source_path = repo_root / SCHEMA_SOURCE
+    try:
+        source = source_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SchemaParseError(f"cannot read {source_path}: {exc}") from exc
+    return parse_schema_source(source, str(source_path))

@@ -38,6 +38,13 @@ Any finding can be suppressed on its line with ``# noqa: DGL00x`` (or a
 bare ``# noqa``); see docs/DEVELOPMENT.md for the rationale behind each
 rule and when suppression is acceptable.
 
+This package is now the per-file front half of ``tools.digest_analyzer``,
+which adds a cross-module pass (trace-schema conformance, RNG-stream
+provenance, call-graph reachability — DGL009-DGL013), ``# dgl:
+disable=`` pragmas with unused-suppression detection, a committed
+findings baseline, and SARIF output. These entry points remain for
+per-file use and historical imports; CI runs the analyzer.
+
 Programmatic entry points:
 
 >>> from tools.digest_lint import lint_source

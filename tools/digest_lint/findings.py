@@ -1,24 +1,11 @@
-"""Finding record shared by the rules and the runner."""
+"""Compatibility shim: :class:`Finding` now lives in the analyzer.
+
+The per-file linter grew into ``tools.digest_analyzer``; the record type
+moved with it. This module keeps the historical import path working.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from tools.digest_analyzer.findings import Finding
 
-
-@dataclass(frozen=True, order=True)
-class Finding:
-    """One rule violation at a source location.
-
-    Sort order (path, line, col, code) matches the report order, so a list
-    of findings can be ``sorted()`` directly.
-    """
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def render(self) -> str:
-        """ruff/flake8-style ``path:line:col: CODE message`` line."""
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+__all__ = ["Finding"]

@@ -1,18 +1,32 @@
-"""File walking, noqa filtering, and the programmatic lint entry points."""
+"""File walking, suppression filtering, and the per-file lint entry points.
+
+These are the historical ``digest_lint`` entry points, now thin layers
+over the analyzer's pass-1 machinery. They run only the per-file rules
+(DGL001-DGL008) — the cross-module rules need the whole project and are
+reached through ``python -m tools.digest_analyzer``.
+
+Two behaviors hardened during the migration:
+
+* *any* unparseable file — syntax error, null bytes (``ast.parse``
+  raises ``ValueError``), undecodable or unreadable bytes — is reported
+  as a DGL000 finding at a real location instead of escaping as an
+  exception and aborting the whole run;
+* both suppression grammars are honored (``# noqa`` and the analyzer's
+  ``# dgl: disable=DGL0xx``), so a line suppressed for the analyzer is
+  equally suppressed here. Unused-suppression detection (DGL099) is the
+  analyzer's job; a per-file run never reports it.
+"""
 
 from __future__ import annotations
 
 import ast
-import re
 from pathlib import Path, PurePosixPath
-from typing import Iterable, Sequence
+from typing import Iterable
 
-from tools.digest_lint.findings import Finding
+from tools.digest_analyzer.extract import extract_file_facts
+from tools.digest_analyzer.findings import Finding
+from tools.digest_analyzer.pragmas import apply_pragmas, parse_pragmas
 from tools.digest_lint.rules import ALL_RULES, RULES_BY_CODE, Rule
-
-#: ``# noqa`` / ``# noqa: DGL001`` / ``# noqa: DGL001, DGL004`` -- same
-#: grammar as flake8/ruff so editors highlight it consistently.
-_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?", re.I)
 
 
 def _select_rules(select: Iterable[str] | None) -> list[Rule]:
@@ -30,19 +44,6 @@ def _select_rules(select: Iterable[str] | None) -> list[Rule]:
     return rules
 
 
-def _suppressed(finding: Finding, source_lines: Sequence[str]) -> bool:
-    """True when the finding's physical line carries a matching noqa."""
-    if not 1 <= finding.line <= len(source_lines):
-        return False
-    match = _NOQA_RE.search(source_lines[finding.line - 1])
-    if match is None:
-        return False
-    codes = match.group("codes")
-    if codes is None:  # bare ``# noqa`` silences every rule
-        return True
-    return finding.code in {c.strip().upper() for c in codes.split(",")}
-
-
 def lint_source(
     source: str,
     path: str,
@@ -53,36 +54,43 @@ def lint_source(
     ``path`` drives rule scoping (a rule scoped to ``core`` fires on any
     path with a ``core`` component), which is what lets the test suite
     exercise rules on fixture snippets under arbitrary virtual paths.
-    Syntax errors are reported as a single DGL000 finding rather than an
-    exception so one unparsable file cannot hide other files' findings.
+    Unparseable source is reported as a single DGL000 finding rather
+    than an exception so one broken file cannot hide other files'
+    findings.
     """
+    rules = tuple(_select_rules(select))
     try:
         tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                code="DGL000",
-                message=f"syntax error prevents linting: {exc.msg}",
-            )
-        ]
-    parts = PurePosixPath(path.replace("\\", "/")).parts
-    source_lines = source.splitlines()
+    except (SyntaxError, ValueError):
+        # delegate: the extractor renders both failure modes as DGL000
+        _facts, findings = extract_file_facts(source, path)
+        return [f for f in findings if f.code == "DGL000"]
+    parts = tuple(PurePosixPath(path.replace("\\", "/")).parts)
     findings = [
         finding
-        for rule in _select_rules(select)
-        if rule.applies_to(tuple(parts))
+        for rule in rules
+        if rule.applies_to(parts)
         for finding in rule.check(tree, path)
-        if not _suppressed(finding, source_lines)
     ]
-    return sorted(findings)
+    pragmas = {path: parse_pragmas(source)}
+    return apply_pragmas(findings, pragmas, report_unused=False)
 
 
 def lint_file(path: Path, select: Iterable[str] | None = None) -> list[Finding]:
-    """Lint one file on disk."""
-    return lint_source(path.read_text(encoding="utf-8"), str(path), select)
+    """Lint one file on disk; unreadable files become DGL000 findings."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=1,
+                col=1,
+                code="DGL000",
+                message=f"cannot read file: {exc}",
+            )
+        ]
+    return lint_source(source, str(path), select)
 
 
 def _iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:

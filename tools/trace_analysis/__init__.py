@@ -26,14 +26,30 @@ from repro.obs.analysis import (
     walk_outcomes,
 )
 
+# The declared trace schema (span/event names + attribute keys) is
+# re-exported so out-of-tree analysis scripts reference the constants
+# instead of hard-coding trace-name literals (digest-analyzer DGL010).
+from repro.obs.schema import (
+    EVENT_SCHEMAS,
+    SPAN_SCHEMAS,
+    event_names,
+    span_names,
+    trace_names,
+)
+
 __all__ = [
     "COUNTER_FIELDS",
+    "EVENT_SCHEMAS",
+    "SPAN_SCHEMAS",
     "counter_dict",
     "degraded_timeline",
+    "event_names",
     "fault_timeline",
     "folded_stacks",
     "message_attribution",
     "run_metrics_from_trace",
+    "span_names",
+    "trace_names",
     "trigger_breakdown",
     "verify_trace_consistency",
     "walk_latency_histogram",
