@@ -24,6 +24,7 @@ from pathlib import Path
 RESULTS_DIR = Path(__file__).parent / "results"
 OUTPUT = Path(__file__).parent.parent / "RESULTS.md"
 MULTI_QUERY_JSON = Path(__file__).parent.parent / "BENCH_multi_query.json"
+FAULTS_JSON = Path(__file__).parent.parent / "BENCH_faults.json"
 
 SECTIONS: list[tuple[str, list[str]]] = [
     (
@@ -192,6 +193,26 @@ def emit_multi_query_json() -> bool:
     return True
 
 
+def emit_faults_json() -> bool:
+    """Promote the fault-overhead bench payload to ``BENCH_faults.json``.
+
+    ``benchmarks/bench_fault_overhead.py`` writes
+    ``benchmarks/results/fault_overhead.json`` with the clean vs
+    fully-instrumented wall-clock comparison and the RNG-transparency
+    verdict; this copies it to the repo root under the name CI uploads as
+    an artifact. Returns whether the payload existed.
+    """
+    source = RESULTS_DIR / "fault_overhead.json"
+    if not source.exists():
+        return False
+    payload = json.loads(source.read_text())
+    FAULTS_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {FAULTS_JSON}")
+    return True
+
+
 def main() -> int:
     if not RESULTS_DIR.exists():
         print(
@@ -201,6 +222,7 @@ def main() -> int:
         )
         return 1
     emit_multi_query_json()
+    emit_faults_json()
     output = collect()
     folded = collect_trace_attribution()
     if folded:

@@ -86,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "protocol",
             "fault_tolerance",
             "multi_query",
+            "partition_tolerance",
         ),
     )
     _add_common(experiment)
@@ -240,6 +241,16 @@ def _run_experiment(args: argparse.Namespace) -> int:
             f"{result.message_savings:.0%} fewer messages per query than "
             f"independent engines"
         )
+    elif name == "partition_tolerance":
+        from repro.experiments import partition_tolerance
+
+        # scale < 1 maps to the reduced CI sweep, full grid otherwise
+        config = (
+            partition_tolerance.smoke_config()
+            if args.scale < 1.0
+            else partition_tolerance.PartitionSweepConfig()
+        )
+        emit(partition_tolerance.run(config, seed=args.seed).to_table())
     return 0
 
 

@@ -32,7 +32,7 @@ cold pool passes single-query requests straight through to the operator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterator
 
 import numpy as np
@@ -48,12 +48,15 @@ from repro.core.scheduler import (
     WalkDemand,
     coalesce_demands,
 )
+from repro.core.estimators import achieved_confidence, achieved_epsilon
 from repro.core.snapshot import SnapshotEstimate
+from repro.db.aggregates import mean_error_budget, scale_factor
 from repro.db.relation import P2PDatabase
 from repro.errors import QueryError
 from repro.network.faults import FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
+from repro.network.partitions import PartitionPlan
 from repro.obs.schema import SPAN_POOL_SERVE, SPAN_SNAPSHOT_QUERY, SPAN_WALK
 from repro.obs.tracer import RunMetricsSink, SinkTracer, Span, TraceEvent
 from repro.sampling.operator import SamplerConfig, SampleSource
@@ -231,6 +234,7 @@ class DigestSession:
         pool_config: PoolConfig | None = None,
         faults: FaultPlan | None = None,
         tracer: SinkTracer | None = None,
+        partitions: PartitionPlan | None = None,
     ) -> None:
         if origin not in graph:
             raise QueryError(f"querying node {origin} is not in the overlay")
@@ -242,6 +246,13 @@ class DigestSession:
         self.metrics = RunMetrics()
         self.tracer = tracer if tracer is not None else SinkTracer()
         self.tracer.add_sink(RunMetricsSink(self.metrics))
+        #: correlated-failure plan; with one wired in, every step
+        #: re-derives the origin's reachable scope, invalidates pooled
+        #: samples on scope changes, and re-scopes estimates honestly
+        self._partitions = partitions
+        #: the reachable node set the last step sampled under (None until
+        #: the first step with a partition plan)
+        self._scope: frozenset[int] | None = None
         self.pool = SamplePool(
             graph,
             rng,
@@ -250,6 +261,7 @@ class DigestSession:
             faults=faults,
             tracer=self.tracer,
             config=pool_config,
+            partitions=partitions,
         )
         self._runtimes: dict[str, QueryRuntime] = {}
         self._next_auto_id = 0
@@ -408,6 +420,7 @@ class DigestSession:
         snapshot estimates of the queries that executed this step.
         """
         self.pool.begin_epoch(time)
+        fraction = self._refresh_scope(time)
         due = [
             self._runtimes[qid]
             for qid in sorted(self._runtimes)
@@ -417,8 +430,36 @@ class DigestSession:
             self._prefetch_for(due)
         executed: dict[str, SnapshotEstimate] = {}
         for runtime in due:
-            executed[runtime.query_id] = self._run_snapshot(runtime, time)
+            executed[runtime.query_id] = self._run_snapshot(
+                runtime, time, fraction
+            )
         return executed
+
+    def _refresh_scope(self, time: int) -> float:
+        """Re-derive the origin's reachable scope; returns its fraction.
+
+        Only meaningful under a partition plan. On any scope *change*
+        (cut, shrink, grow, or heal) all pooled samples are evicted and
+        the operator's walk-length cache dropped: samples drawn under a
+        different scope are drawn from a different stationary law and
+        would bias every query that reused them. Without a plan this is
+        free and returns 1.0.
+        """
+        if self._partitions is None:
+            return 1.0
+        if self._partitions.active:
+            scope = frozenset(
+                self._partitions.reachable(self._graph, self._origin)
+            )
+        else:
+            scope = frozenset(self._graph.nodes())
+        fraction = len(scope) / len(self._graph) if len(self._graph) else 1.0
+        if self._scope is not None and scope != self._scope:
+            reason = "cut" if fraction < 1.0 else "heal"
+            self.pool.invalidate_scope(time, reason)
+            self.pool.operator.invalidate_walk_length_cache()
+        self._scope = scope
+        return fraction
 
     def _prefetch_for(self, due: list[QueryRuntime]) -> None:
         """Draw the coalesced walk batch covering the due queries' demands.
@@ -454,7 +495,7 @@ class DigestSession:
         )
 
     def _run_snapshot(
-        self, runtime: QueryRuntime, time: int
+        self, runtime: QueryRuntime, time: int, fraction: float = 1.0
     ) -> SnapshotEstimate:
         """Execute one query's snapshot at ``time`` (the engine core)."""
         precision = runtime.continuous_query.precision
@@ -468,6 +509,8 @@ class DigestSession:
             estimate = runtime.evaluator.evaluate(
                 time, precision.epsilon, precision.confidence
             )
+        if fraction < 1.0:
+            estimate = self._rescope_estimate(runtime, estimate, fraction)
         if (
             runtime.config.forward_revision
             and isinstance(runtime.evaluator, RepeatedEvaluator)
@@ -495,6 +538,10 @@ class DigestSession:
         # counters (snapshot_queries, samples_*, degraded_estimates) are
         # derived from this span by the RunMetricsSink — session-wide on
         # the session metrics, query-scoped on the runtime metrics.
+        if estimate.reachable_fraction < 1.0:
+            # only set on actually-partitioned snapshots so partition-free
+            # traces stay byte-identical to the pre-partition format
+            span.set(reachable_fraction=estimate.reachable_fraction)
         self.tracer.end(
             span,
             time=time,
@@ -511,6 +558,52 @@ class DigestSession:
         runtime.next_due = runtime.scheduler.next_time(runtime.history, time)
         runtime.next_trigger = runtime.scheduler.last_decision
         return estimate
+
+    def _rescope_estimate(
+        self,
+        runtime: QueryRuntime,
+        estimate: SnapshotEstimate,
+        fraction: float,
+    ) -> SnapshotEstimate:
+        """Restate an estimate over the reachable sub-population.
+
+        During a partition the walk mixes over the origin's reachable
+        region only, so the mean estimates the *reachable* population's
+        mean. Scaling it by the full-relation tuple count would silently
+        fabricate coverage of nodes no message can reach; instead the
+        aggregate, population size, and Eq. 5 re-statements
+        (``achieved_epsilon`` / ``achieved_confidence``) are re-derived
+        against the reachable tuple count and the estimate is flagged
+        degraded with ``reachable_fraction`` recorded.
+        """
+        scope = self._scope if self._scope is not None else frozenset()
+        sizes = self._database.content_sizes()
+        reachable_population = sum(
+            sizes.get(node, 0) for node in scope if node in sizes
+        )
+        precision = runtime.continuous_query.precision
+        op = runtime.continuous_query.query.op
+        new_scale = scale_factor(op, reachable_population)
+        aggregate = estimate.mean * new_scale
+        ach_eps = achieved_epsilon(estimate.variance, precision.confidence)
+        ach_eps *= new_scale
+        epsilon_mean = mean_error_budget(
+            op, precision.epsilon, reachable_population
+        )
+        ach_conf = (
+            achieved_confidence(epsilon_mean, estimate.variance)
+            if epsilon_mean != float("inf")
+            else None
+        )
+        return replace(
+            estimate,
+            aggregate=aggregate,
+            population_size=reachable_population,
+            degraded=True,
+            achieved_epsilon=ach_eps,
+            achieved_confidence=ach_conf,
+            reachable_fraction=fraction,
+        )
 
     def next_due(self) -> int | None:
         """Earliest upcoming snapshot time across still-active queries."""

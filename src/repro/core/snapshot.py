@@ -32,6 +32,15 @@ class SnapshotEstimate:
     at the promised epsilon) filled in — the honest re-statement of Eq. 5
     for the samples that made it back. Both are ``None`` on non-degraded
     estimates.
+
+    ``reachable_fraction`` extends the contract to *correlated* failures
+    (overlay partitions): it is the fraction of live nodes the querying
+    node could reach when the samples were drawn. While a partition is
+    open it is ``< 1.0``, the estimate is flagged degraded, and
+    ``population_size`` / ``aggregate`` are re-scoped to the reachable
+    sub-population — the estimate answers the query *over the population
+    that was actually sampleable*, stated honestly, instead of silently
+    pretending to cover the whole relation.
     """
 
     time: int
@@ -45,6 +54,7 @@ class SnapshotEstimate:
     degraded: bool = False
     achieved_epsilon: float | None = None
     achieved_confidence: float | None = None
+    reachable_fraction: float = 1.0
 
     def half_width(self, confidence: float) -> float:
         """Achieved confidence-interval half width for the *mean* estimate."""

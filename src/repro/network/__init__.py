@@ -12,6 +12,10 @@ package provides:
 * :mod:`repro.network.churn` — session-based churn processes.
 * :mod:`repro.network.faults` — the failure model: seeded message loss,
   crashes, link failures and latency jitter, plus the fault audit log.
+* :mod:`repro.network.partitions` — correlated failures: scheduled overlay
+  partitions and flapping links, with overlay repair on heal.
+* :mod:`repro.network.health` — origin-side neighbor health: per-link
+  circuit breakers and partition suspicion from correlated walk failures.
 * :mod:`repro.network.messaging` — hop-level message accounting, the cost
   unit of every figure in the paper.
 """
@@ -25,7 +29,13 @@ from repro.network.faults import (
     FaultPlan,
 )
 from repro.network.graph import OverlayGraph
+from repro.network.health import CircuitBreaker, HealthConfig, HealthMonitor
 from repro.network.messaging import MessageLedger
+from repro.network.partitions import (
+    PartitionEpisode,
+    PartitionPlan,
+    PartitionSchedule,
+)
 from repro.network.topology import (
     augmented_mesh_topology,
     line_topology,
@@ -40,13 +50,19 @@ from repro.network.topology import (
 __all__ = [
     "ChurnConfig",
     "ChurnProcess",
+    "CircuitBreaker",
     "CrashProcess",
     "FaultConfig",
     "FaultEvent",
     "FaultLog",
     "FaultPlan",
+    "HealthConfig",
+    "HealthMonitor",
     "MessageLedger",
     "OverlayGraph",
+    "PartitionEpisode",
+    "PartitionPlan",
+    "PartitionSchedule",
     "augmented_mesh_topology",
     "line_topology",
     "mesh_topology",

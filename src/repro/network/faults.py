@@ -116,6 +116,16 @@ class FaultLog:
         """
         self._listeners[key] = listener
 
+    def unsubscribe(self, key: str) -> bool:
+        """Remove the listener registered under ``key``.
+
+        Returns True when a listener was removed, False when the key was
+        unknown (already unsubscribed, or never registered). Long-lived
+        sessions that attach and detach observers must call this so the
+        log does not accumulate dead listeners.
+        """
+        return self._listeners.pop(key, None) is not None
+
     def record(
         self,
         time: int,
@@ -141,11 +151,16 @@ class FaultLog:
         return list(self._events)
 
     def counts(self) -> dict[str, int]:
-        """Number of recorded events per kind."""
+        """Number of recorded events per kind, kinds in sorted order.
+
+        Deterministic ordering (not insertion order) so reports and JSON
+        artifacts derived from the counts are stable across runs whose
+        faults merely interleave differently.
+        """
         totals: dict[str, int] = {}
         for event in self._events:
             totals[event.kind] = totals.get(event.kind, 0) + 1
-        return totals
+        return {kind: totals[kind] for kind in sorted(totals)}
 
     def count(self, kind: str) -> int:
         """Number of recorded events of one kind."""
@@ -249,8 +264,13 @@ class CrashProcess:
         """Exempt ``node`` from crashes (typically the querying node)."""
         self._protected.add(node)
 
-    def step(self, time: int = -1) -> list[int]:
-        """Run one crash round; returns the ids that crashed."""
+    def step(self, time: int) -> list[int]:
+        """Run one crash round at simulated ``time``; returns crashed ids.
+
+        ``time`` is required: crash events must carry the simulated time
+        they occurred at so fault timelines line up with walk spans (the
+        old ``-1`` default silently produced untimestamped audit entries).
+        """
         plan = self._plan
         config = plan.config
         rng = plan._rng

@@ -203,6 +203,84 @@ class OverlayGraph:
         start = next(iter(self._adjacency))
         return len(self.hop_distances(start)) == len(self._adjacency)
 
+    def components(self) -> list[list[int]]:
+        """Connected components as sorted id lists, ordered by smallest member.
+
+        Deterministic (no RNG, no cache interaction): the overlay repair
+        in :meth:`bridge_components` and the partition healer both need a
+        stable component enumeration to stay reproducible.
+        """
+        seen: set[int] = set()
+        components: list[list[int]] = []
+        for start in self.nodes():
+            if start in seen:
+                continue
+            member = {start}
+            frontier = deque([start])
+            while frontier:
+                node = frontier.popleft()
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in member:
+                        member.add(neighbor)
+                        frontier.append(neighbor)
+            seen |= member
+            components.append(sorted(member))
+        return components
+
+    def bridge_components(
+        self,
+        rng: np.random.Generator,
+        max_degree: int | None = None,
+    ) -> list[Edge]:
+        """Reconnect a fragmented overlay by adding bridge edges.
+
+        Chains the connected components together (component ``k`` to
+        component ``k+1``, ordered by smallest member), which restores
+        connectivity with the minimum number of new links. Within each
+        component the bridge endpoint is drawn by ``rng`` among the nodes
+        of minimal *current* degree that still have headroom under
+        ``max_degree`` — degree accounting is live across the repair, so
+        an interior component never funnels both of its bridges into one
+        node unless it must. When every node in a component is already at
+        the bound, connectivity wins: the minimal-degree node takes the
+        bridge anyway (an overlay split is worse than one over-degree
+        link). Returns the edges added, as sorted pairs.
+        """
+        if max_degree is not None and max_degree < 1:
+            raise TopologyError(
+                f"max_degree must be >= 1, got {max_degree}"
+            )
+        components = self.components()
+        added: list[Edge] = []
+        if len(components) <= 1:
+            return added
+        degree = {
+            node: self.degree(node)
+            for component in components
+            for node in component
+        }
+
+        def pick(component: list[int]) -> int:
+            eligible = [
+                node
+                for node in component
+                if max_degree is None or degree[node] < max_degree
+            ]
+            if not eligible:
+                eligible = component
+            lowest = min(degree[node] for node in eligible)
+            tied = [node for node in eligible if degree[node] == lowest]
+            return tied[int(rng.integers(len(tied)))]
+
+        for left, right in zip(components, components[1:]):
+            u = pick(left)
+            v = pick(right)
+            self.add_edge(u, v)
+            degree[u] += 1
+            degree[v] += 1
+            added.append((min(u, v), max(u, v)))
+        return added
+
     def hop_distances(self, source: int) -> dict[int, int]:
         """BFS hop counts from ``source`` to every reachable node.
 

@@ -100,6 +100,8 @@ SPAN_SNAPSHOT_QUERY = "snapshot_query"
 SPAN_FAULT_CELL = "fault_cell"
 #: One pool request served to a consuming query (hits + fresh draws).
 SPAN_POOL_SERVE = "pool_serve"
+#: One (width, duration, heal policy) cell of the partition sweep.
+SPAN_PARTITION_CELL = "partition_cell"
 #: One operator-level node-sample acquisition (Metropolis walks).
 SPAN_SAMPLE_ACQUISITION = "sample_acquisition"
 #: One two-stage tuple-sampling round (nodes, then local tuples).
@@ -123,6 +125,16 @@ EVENT_MESSAGE = "message"
 EVENT_HOP = "hop"
 #: One cached-weight probe round-trip (on the walk span).
 EVENT_PROBE = "probe"
+#: A scheduled partition episode cutting the overlay into regions (loose).
+EVENT_PARTITION_OPEN = "partition_open"
+#: A partition episode healing: all its blocked links restored (loose).
+EVENT_PARTITION_HEAL = "partition_heal"
+#: A per-neighbor circuit breaker opening after correlated failures (loose).
+EVENT_BREAKER_TRIP = "breaker_trip"
+#: A half-open breaker admitting one probe walk through (loose).
+EVENT_BREAKER_PROBE = "breaker_probe"
+#: A reachability change evicting pooled samples wholesale (loose).
+EVENT_POOL_INVALIDATE = "pool_invalidate"
 
 
 SPAN_SCHEMAS: dict[str, SpanSchema] = {
@@ -156,7 +168,7 @@ SPAN_SCHEMAS: dict[str, SpanSchema] = {
                 "n_retained",
                 "degraded",
             ),
-            optional=("query",),
+            optional=("query", "reachable_fraction"),
             description="one snapshot evaluation; drives RunMetrics counters",
         ),
         SpanSchema(
@@ -169,6 +181,20 @@ SPAN_SCHEMAS: dict[str, SpanSchema] = {
                 "n_achieved",
             ),
             description="one cell of the fault-tolerance sweep",
+        ),
+        SpanSchema(
+            SPAN_PARTITION_CELL,
+            required=(
+                "width",
+                "duration",
+                "heal_policy",
+                "seed",
+                "n_snapshots",
+                "n_partitioned",
+                "n_dishonest",
+            ),
+            optional=("recovery_occasions",),
+            description="one cell of the partition-tolerance sweep",
         ),
         SpanSchema(
             SPAN_POOL_SERVE,
@@ -238,6 +264,32 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
             required=("node", "target", "messages"),
             span=SPAN_WALK,
             description="one cached-weight probe round-trip",
+        ),
+        EventSchema(
+            EVENT_PARTITION_OPEN,
+            required=("episode", "n_regions", "n_blocked", "duration"),
+            description="a scheduled partition episode cutting the overlay",
+        ),
+        EventSchema(
+            EVENT_PARTITION_HEAL,
+            required=("episode", "n_restored", "repaired"),
+            optional=("n_bridges",),
+            description="a partition episode healing (links restored)",
+        ),
+        EventSchema(
+            EVENT_BREAKER_TRIP,
+            required=("origin", "neighbor", "failures"),
+            description="a per-neighbor circuit breaker opening",
+        ),
+        EventSchema(
+            EVENT_BREAKER_PROBE,
+            required=("origin", "neighbor"),
+            description="a half-open breaker admitting one probe walk",
+        ),
+        EventSchema(
+            EVENT_POOL_INVALIDATE,
+            required=("n_evicted", "reason"),
+            description="a reachability change evicting pooled samples",
         ),
     )
 }

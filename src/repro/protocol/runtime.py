@@ -45,6 +45,8 @@ from repro.errors import SamplingError, TopologyError
 from repro.network.churn import ChurnEvent
 from repro.network.faults import FaultLog, FaultPlan
 from repro.network.graph import OverlayGraph
+from repro.network.health import HealthConfig, HealthMonitor
+from repro.network.partitions import PartitionPlan
 from repro.network.messaging import MessageLedger
 from repro.obs.schema import (
     EVENT_ADVERTISEMENT,
@@ -168,6 +170,9 @@ class _WalkState:
     timeouts: int = 0
     done: bool = False
     failed: bool = False
+    #: the neighbor this attempt first left the origin through, for
+    #: health attribution (reset per attempt; None until the token moves)
+    first_hop: int | None = None
     timeout_event: Event | None = field(default=None, repr=False)
     span: Span = field(default_factory=lambda: NULL_SPAN, repr=False)
 
@@ -195,6 +200,8 @@ class ProtocolSampler:
         faults: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
         tracer: Tracer | None = None,
+        partitions: PartitionPlan | None = None,
+        health: HealthConfig | None = None,
     ) -> None:
         if not graph.is_connected():
             raise TopologyError("the protocol needs a connected overlay")
@@ -205,6 +212,10 @@ class ProtocolSampler:
         self.ledger = ledger if ledger is not None else MessageLedger()
         self._config = config if config is not None else ProtocolConfig()
         self._faults = faults
+        #: hot-path flags precomputed from the (frozen) fault config so a
+        #: noop plan costs no per-message draw calls
+        self._lossy = faults is not None and faults.config.message_loss > 0.0
+        self._jittery = faults is not None and faults.config.latency_jitter > 0
         self._retry = retry
         #: walk/message telemetry; the default no-op tracer keeps the
         #: per-hop handlers allocation-free when tracing is disabled
@@ -214,6 +225,16 @@ class ProtocolSampler:
         #: protocol-observed failures interleave in one timeline)
         self.fault_log: FaultLog = faults.log if faults is not None else FaultLog()
         bridge_fault_log(self.fault_log, self._tracer)
+        #: correlated failures: deliveries crossing an open partition (or
+        #: a flapped link) are dropped at the same point loss is injected
+        self._partitions = partitions
+        #: origin-side link health; None keeps first-hop choice (and the
+        #: RNG draw sequence) bit-identical to the health-free runtime
+        self.health: HealthMonitor | None = (
+            HealthMonitor(health, tracer=self._tracer, fault_log=self.fault_log)
+            if health is not None
+            else None
+        )
         self._outcomes: dict[int, _WalkOutcome] = {}
         self._states: dict[int, _WalkState] = {}
         self._next_walker = 0
@@ -329,6 +350,7 @@ class ProtocolSampler:
     def _launch_attempt(self, state: _WalkState) -> None:
         """Begin the next attempt of a walk: arm the timeout, inject token."""
         state.attempt += 1
+        state.first_hop = None
         attempt = state.attempt
         if attempt > 1:
             state.span.add_event(
@@ -371,6 +393,20 @@ class ProtocolSampler:
             node=state.origin,
             detail=f"attempt {attempt}",
         )
+        if self.health is not None and state.first_hop is not None:
+            # the attempt died somewhere past its first hop: indict the
+            # link it left through (correlated timeouts trip its breaker)
+            self.health.record_outcome(
+                state.origin,
+                state.first_hop,
+                ok=False,
+                time=self._simulation.now,
+                n_neighbors=(
+                    len(self._graph.neighbors(state.origin))
+                    if state.origin in self._graph
+                    else None
+                ),
+            )
         if self._retry is None or state.attempt > self._retry.max_retries:
             self._fail_walk(state, "retries_exhausted")
             return
@@ -399,6 +435,18 @@ class ProtocolSampler:
     def _complete_walk(self, state: _WalkState, sampled_node: int) -> None:
         """A sample made it back to the origin; release the supervisor."""
         state.done = True
+        if self.health is not None and state.first_hop is not None:
+            self.health.record_outcome(
+                state.origin,
+                state.first_hop,
+                ok=True,
+                time=self._simulation.now,
+                n_neighbors=(
+                    len(self._graph.neighbors(state.origin))
+                    if state.origin in self._graph
+                    else None
+                ),
+            )
         if state.timeout_event is not None:
             state.timeout_event.cancel()
             state.timeout_event = None
@@ -557,6 +605,7 @@ class ProtocolSampler:
         self,
         attempt: int,
         kind: str,
+        from_node: int,
         to_node: int,
         walker_id: int,
         deliver: Callable[[], None],
@@ -565,9 +614,10 @@ class ProtocolSampler:
 
         The cost is recorded at send time — a message lost in transit was
         still sent. Delivery runs ``deliver`` after the hop latency (plus
-        jitter under a fault plan) unless the link drops it or the
-        receiver has crashed by then; both outcomes become fault events,
-        never exceptions.
+        jitter under a fault plan) unless an open partition (or flapped
+        link) cuts the ``from_node -> to_node`` edge, the link drops it,
+        or the receiver has crashed by then; every outcome becomes a
+        fault event, never an exception.
         """
         self._record_traffic(attempt, kind)
         if self._tracer.enabled:
@@ -581,8 +631,25 @@ class ProtocolSampler:
                     category="retry" if attempt > 1 else kind,
                     to_node=to_node,
                 )
+        partitions = self._partitions
+        if (
+            partitions is not None
+            and partitions.active
+            and partitions.blocked(from_node, to_node)
+        ):
+            # correlated drop: the sender paid for a message the cut
+            # swallows whole — exactly how a partitioned overlay looks
+            # from the inside (no error, just silence)
+            self.fault_log.record(
+                self._simulation.now,
+                "partition_drop",
+                walker_id=walker_id,
+                node=to_node,
+                detail=f"({from_node}, {to_node})",
+            )
+            return
         faults = self._faults
-        if faults is not None and faults.message_lost():
+        if self._lossy and faults is not None and faults.message_lost():
             self.fault_log.record(
                 self._simulation.now,
                 "message_loss",
@@ -592,7 +659,7 @@ class ProtocolSampler:
             return
         delay = (
             faults.delivery_delay(self._config.hop_latency)
-            if faults is not None
+            if self._jittery and faults is not None
             else self._config.hop_latency
         )
 
@@ -668,7 +735,18 @@ class ProtocolSampler:
                 node=node,
             )
             return
-        target = neighbors[int(self._rng.integers(len(neighbors)))]
+        if (
+            self.health is not None
+            and node == origin
+            and state.first_hop is None
+        ):
+            target = self._choose_first_hop(state, node, neighbors)
+            if target is None:
+                return
+        else:
+            target = neighbors[int(self._rng.integers(len(neighbors)))]
+            if node == origin and state.first_hop is None:
+                state.first_hop = target
         if config.variant == "cached":
             self._cached_step(
                 walker_id, origin, node, target, steps_remaining, attempt
@@ -677,6 +755,35 @@ class ProtocolSampler:
             self._bounce_step(
                 walker_id, origin, node, target, steps_remaining, attempt
             )
+
+    def _choose_first_hop(
+        self, state: _WalkState, origin: int, neighbors: list[int]
+    ) -> int | None:
+        """Health-aware first-hop choice: skip links with open breakers.
+
+        Draws uniformly over the *admitted* neighbors (closed breakers
+        plus at most the half-open probes the monitor offers). When every
+        link is suppressed the walk fast-fails instead of burning its
+        full timeout on a hop the origin already knows is dead — the
+        caller sees an honest shortfall immediately.
+        """
+        assert self.health is not None
+        now = self._simulation.now
+        admitted, probes = self.health.admitted(origin, neighbors, now)
+        if not admitted:
+            self.fault_log.record(
+                now,
+                "breaker_suppressed",
+                walker_id=state.walker_id,
+                node=origin,
+            )
+            self._fail_walk(state, "all_breakers_open")
+            return None
+        target = admitted[int(self._rng.integers(len(admitted)))]
+        state.first_hop = target
+        if target in probes:
+            self.health.start_probe(origin, target, now)
+        return target
 
     def _acceptance(self, w_i: float, d_i: int, w_j: float, d_j: int) -> float:
         if w_i == 0.0:
@@ -780,7 +887,9 @@ class ProtocolSampler:
                     token.attempt,
                 )
 
-        self._transmit(token.attempt, "walk", to_node, token.walker_id, deliver)
+        self._transmit(
+            token.attempt, "walk", token.sender, to_node, token.walker_id, deliver
+        )
 
     def _receive_optimistic_token(self, token: WalkToken, node: int) -> None:
         """Bounce variant, receiver side: accept or bounce back."""
@@ -814,7 +923,7 @@ class ProtocolSampler:
 
             # the bounce message, subject to the same unreliable delivery
             self._transmit(
-                token.attempt, "walk", token.sender, token.walker_id, deliver
+                token.attempt, "walk", node, token.sender, token.walker_id, deliver
             )
 
     # ------------------------------------------------------------------
@@ -879,5 +988,10 @@ class ProtocolSampler:
             self._handle_return(forwarded)
 
         self._transmit(
-            message.attempt, "return", next_hop, message.walker_id, deliver
+            message.attempt,
+            "return",
+            message.at_node,
+            next_hop,
+            message.walker_id,
+            deliver,
         )

@@ -41,6 +41,7 @@ from repro.errors import SamplingError
 from repro.network.faults import FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
+from repro.network.partitions import PartitionPlan
 from repro.obs.schema import SPAN_SAMPLE_ACQUISITION, SPAN_TUPLE_SAMPLING
 from repro.obs.tracer import NULL_TRACER, Tracer, bridge_fault_log
 from repro.sampling import mixing
@@ -179,12 +180,17 @@ class SamplingOperator:
         config: SamplerConfig | None = None,
         faults: FaultPlan | None = None,
         tracer: Tracer | None = None,
+        partitions: PartitionPlan | None = None,
     ) -> None:
         self._graph = graph
         self._rng = rng
         self._ledger = ledger
         self._config = config if config is not None else SamplerConfig()
         self._faults = faults
+        #: correlated-failure plan; while a partition is open, walks are
+        #: confined to the origin's reachable region (the walk must mix
+        #: over the population it can actually touch)
+        self._partitions = partitions
         self._tracer = tracer if tracer is not None else NULL_TRACER
         if faults is not None:
             bridge_fault_log(faults.log, self._tracer)
@@ -333,14 +339,38 @@ class SamplingOperator:
         span = self._tracer.span(
             SPAN_SAMPLE_ACQUISITION, n_requested=n, origin=origin
         )
-        context = WalkContext.from_graph(self._graph, weight)
+        scope: dict[int, int] | None = None
+        partitions = self._partitions
+        if partitions is not None and partitions.active:
+            scope = partitions.reachable(self._graph, origin)
+            if len(scope) <= 1:
+                # the origin is alone on its side of the cut: the only
+                # reachable "sample" is itself, and no walk can leave
+                self._tracer.end(
+                    span,
+                    n_continued=0,
+                    n_fresh=n,
+                    mix_length=0,
+                    reset_length=0,
+                    n_delivered=n,
+                )
+                self.samples_drawn += n
+                return [origin] * n
+            context = WalkContext.from_subgraph(self._graph, weight, scope)
+        else:
+            context = WalkContext.from_graph(self._graph, weight)
         mix_length, reset_length = self._walk_lengths(context, origin)
         config = self._config
 
         continued: list[int] = []
         if config.continued_walks and self._pool_nodes:
             # agents survive only if their node is still in the overlay
-            alive = [node for node in self._pool_nodes if node in self._graph]
+            # (and, under a partition, on the origin's side of the cut)
+            alive = [
+                node
+                for node in self._pool_nodes
+                if node in self._graph and (scope is None or node in scope)
+            ]
             continued = alive[:n]
         n_fresh = n - len(continued)
 
@@ -382,7 +412,13 @@ class SamplingOperator:
             self._pool_nodes = list(final_positions)
         distances: dict[int, int] | None = None
         if self._ledger is not None or self._faults is not None:
-            distances = self._graph.hop_distances(origin)
+            # under a partition the return route is confined to the
+            # reachable region, so return-hop accounting uses its BFS
+            distances = (
+                scope
+                if scope is not None
+                else self._graph.hop_distances(origin)
+            )
         delivered: list[int] = []
         for node, steps in zip(final_positions, walk_steps):
             hops_home = distances.get(node, 0) if distances is not None else 0

@@ -50,7 +50,12 @@ from repro.errors import SamplingError
 from repro.network.faults import FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
-from repro.obs.schema import SPAN_POOL_SERVE, SPAN_SHARED_WALK_BATCH
+from repro.network.partitions import PartitionPlan
+from repro.obs.schema import (
+    EVENT_POOL_INVALIDATE,
+    SPAN_POOL_SERVE,
+    SPAN_SHARED_WALK_BATCH,
+)
 from repro.obs.tracer import NO_TIME, NULL_TRACER, Tracer
 from repro.sampling.operator import (
     SamplerConfig,
@@ -105,6 +110,7 @@ class SamplePool:
         tracer: Tracer | None = None,
         config: PoolConfig | None = None,
         _operator: SamplingOperator | None = None,
+        partitions: PartitionPlan | None = None,
     ) -> None:
         tracer = tracer if tracer is not None else NULL_TRACER
         if _operator is None:
@@ -115,6 +121,7 @@ class SamplePool:
                 sampler_config,
                 faults=faults,
                 tracer=tracer,
+                partitions=partitions,
             )
         self._init_state(_operator, tracer, config)
 
@@ -199,6 +206,28 @@ class SamplePool:
         self._cursors = {}
         self.pool_hits = 0
         self.pool_misses = 0
+
+    def invalidate_scope(self, time: int, reason: str) -> int:
+        """Evict *every* pooled sample after a reachability change.
+
+        Called when the population a query can reach changes — a
+        partition opening, growing, shrinking, or healing. Samples drawn
+        under the old scope are biased for the new one in both
+        directions (a heal makes pre-heal samples under-cover the
+        returned region; a cut makes pre-cut samples leak the
+        unreachable side), so the pool drops them all rather than trying
+        to filter. Serials keep increasing, so consumer cursors stay
+        valid. Returns the number of samples evicted.
+        """
+        n_evicted = len(self._samples)
+        self._samples = []
+        self._tracer.event(
+            EVENT_POOL_INVALIDATE,
+            time=time,
+            n_evicted=n_evicted,
+            reason=reason,
+        )
+        return n_evicted
 
     # ------------------------------------------------------------------
     # serving

@@ -21,6 +21,7 @@ locally and are free.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -59,6 +60,61 @@ class WalkContext:
             raise TopologyError(
                 f"overlay has isolated nodes {isolated[:5].tolist()}; "
                 "the sampling walk cannot reach or leave them"
+            )
+        weights = np.array([weight(int(node)) for node in node_ids], dtype=float)
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise SamplingError("weights must be finite and non-negative")
+        if weights.sum() <= 0:
+            raise SamplingError("all node weights are zero")
+        return cls(
+            node_ids=node_ids,
+            offsets=offsets,
+            targets=targets,
+            degrees=degrees.astype(np.int64),
+            weights=weights,
+            graph_version=graph.version,
+        )
+
+    @classmethod
+    def from_subgraph(
+        cls,
+        graph: OverlayGraph,
+        weight: WeightFunction,
+        nodes: Iterable[int],
+    ) -> "WalkContext":
+        """Snapshot of the subgraph induced by ``nodes``.
+
+        Used when a partition confines sampling to the origin's reachable
+        region: the walk must mix over the population it can actually
+        touch, not the full (momentarily fictional) overlay. Edges whose
+        far endpoint falls outside ``nodes`` are dropped; the remaining
+        subgraph must leave no member isolated (a reachable-set scope is
+        connected by construction, so this only trips on bad callers).
+        """
+        node_ids = np.array(sorted(int(node) for node in nodes), dtype=np.int64)
+        if node_ids.size == 0:
+            raise SamplingError("cannot build a walk context over no nodes")
+        member = set(node_ids.tolist())
+        offsets = np.zeros(node_ids.size + 1, dtype=np.int64)
+        kept: list[int] = []
+        for i, node in enumerate(node_ids):
+            local = [
+                neighbor
+                for neighbor in graph.neighbors(int(node))
+                if neighbor in member
+            ]
+            offsets[i + 1] = offsets[i] + len(local)
+            kept.extend(local)
+        index_of = {int(node): i for i, node in enumerate(node_ids)}
+        targets = np.array(
+            [index_of[neighbor] for neighbor in kept], dtype=np.int64
+        )
+        degrees = np.diff(offsets)
+        if np.any(degrees == 0) and node_ids.size > 1:
+            isolated = node_ids[degrees == 0]
+            raise TopologyError(
+                f"scope leaves nodes {isolated[:5].tolist()} isolated; "
+                "a sampling scope must be internally connected"
             )
         weights = np.array([weight(int(node)) for node in node_ids], dtype=float)
         if np.any(weights < 0) or not np.all(np.isfinite(weights)):

@@ -58,7 +58,11 @@ class SimulationEngine:
 
     def __init__(self, clock: SimulationClock | None = None) -> None:
         self._clock = clock if clock is not None else SimulationClock()
-        self._heap: list[Event] = []
+        # heap entries are (time, priority, sequence, event) tuples rather
+        # than bare Events: tuple comparison stays in C, so a deep heap
+        # (e.g. many far-future retry timeouts) never pays per-sift Python
+        # __lt__ calls
+        self._heap: list[tuple[int, int, int, Event]] = []
         self._sequence = itertools.count()
         self._events_run = 0
 
@@ -78,7 +82,7 @@ class SimulationEngine:
     @property
     def pending(self) -> int:
         """Live events still queued (cancelled-but-unpopped ones excluded)."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for *_, event in self._heap if not event.cancelled)
 
     def schedule_at(self, time: int, action: Action, priority: int = 0) -> Event:
         """Schedule ``action(time)`` to run at absolute time ``time``."""
@@ -87,7 +91,7 @@ class SimulationEngine:
                 f"cannot schedule at {time}, clock is already at {self._clock.now}"
             )
         event = Event(time, priority, next(self._sequence), action)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, priority, event.sequence, event))
         return event
 
     def schedule_in(self, delay: int, action: Action, priority: int = 0) -> Event:
@@ -134,8 +138,8 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot run to {time}, clock is already at {self._clock.now}"
             )
-        while self._heap and self._heap[0].time <= time:
-            event = heapq.heappop(self._heap)
+        while self._heap and self._heap[0][0] <= time:
+            event = heapq.heappop(self._heap)[3]
             if event.cancelled:
                 continue
             self._clock.advance_to(event.time)
@@ -147,7 +151,7 @@ class SimulationEngine:
         """Drain the queue completely (bounded by ``max_events``)."""
         executed = 0
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[3]
             if event.cancelled:
                 continue
             self._clock.advance_to(event.time)

@@ -45,6 +45,33 @@ class TestFaultLog:
         assert log.summary() == "message_loss=2, node_crash=1"
         assert [e.time for e in log.events] == [3, 5, 7]
 
+    def test_counts_kinds_in_sorted_order(self):
+        log = FaultLog()
+        log.record(0, "walk_timeout")
+        log.record(1, "message_loss")
+        log.record(2, "node_crash")
+        log.record(3, "message_loss")
+        assert list(log.counts()) == sorted(log.counts())
+        # insertion order was walk_timeout first; the view must not be
+        assert list(log.counts())[0] == "message_loss"
+
+    def test_subscribe_keyed_replacement_and_unsubscribe(self):
+        log = FaultLog()
+        seen_a: list[str] = []
+        seen_b: list[str] = []
+        log.subscribe(lambda e: seen_a.append(e.kind), key="obs")
+        log.record(0, "first")
+        # same key replaces, never duplicates
+        log.subscribe(lambda e: seen_b.append(e.kind), key="obs")
+        log.record(1, "second")
+        assert seen_a == ["first"]
+        assert seen_b == ["second"]
+        assert log.unsubscribe("obs") is True
+        assert log.unsubscribe("obs") is False
+        log.record(2, "third")
+        assert seen_b == ["second"]
+        assert log.unsubscribe("never-registered") is False
+
 
 class TestFaultPlan:
     def test_no_loss_at_zero_rate(self):
@@ -86,7 +113,7 @@ class TestCrashProcess:
         graph = self._world()
         plan = FaultPlan(FaultConfig(), rng=0)
         crash = CrashProcess(graph, plan)
-        assert crash.step() == []
+        assert crash.step(0) == []
         assert len(graph) == 16
 
     def test_protected_node_never_crashes(self):
@@ -94,8 +121,8 @@ class TestCrashProcess:
         plan = FaultPlan(FaultConfig(crash_probability=0.99), rng=0)
         crash = CrashProcess(graph, plan, protected={0})
         crash.protect(5)
-        for _ in range(10):
-            crash.step()
+        for time in range(10):
+            crash.step(time)
         assert 0 in graph
         assert 5 in graph
         assert {0, 5} <= crash.protected
@@ -106,8 +133,8 @@ class TestCrashProcess:
             FaultConfig(crash_probability=0.9, min_nodes=6), rng=1
         )
         crash = CrashProcess(graph, plan)
-        for _ in range(10):
-            crash.step()
+        for time in range(10):
+            crash.step(time)
         assert len(graph) >= 6
 
     def test_crashes_are_recorded_on_the_log(self):
@@ -126,8 +153,8 @@ class TestCrashProcess:
             FaultConfig(crash_probability=0.2, min_nodes=8), rng=3
         )
         crash = CrashProcess(graph, plan)
-        for _ in range(8):
-            crash.step()
+        for time in range(8):
+            crash.step(time)
         assert graph.is_connected()
 
     def test_link_failure_never_orphans_a_node(self):
@@ -136,8 +163,8 @@ class TestCrashProcess:
             FaultConfig(link_failure_probability=0.5), rng=4
         )
         crash = CrashProcess(graph, plan)
-        for _ in range(5):
-            crash.step()
+        for time in range(5):
+            crash.step(time)
         assert all(graph.degree(node) >= 1 for node in graph.nodes())
 
     def test_deterministic_under_fixed_seed(self):
@@ -148,6 +175,6 @@ class TestCrashProcess:
                 FaultConfig(crash_probability=0.3, min_nodes=5), rng=9
             )
             crash = CrashProcess(graph, plan)
-            history = [crash.step() for _ in range(5)]
+            history = [crash.step(time) for time in range(5)]
             results.append((history, sorted(graph.nodes())))
         assert results[0] == results[1]

@@ -147,3 +147,62 @@ class TestAnalysis:
         clone = triangle.copy()
         assert clone.edges() == triangle.edges()
         assert clone.nodes() == triangle.nodes()
+
+
+class TestComponents:
+    def test_connected_graph_is_one_component(self):
+        graph = OverlayGraph(ring_topology(6), n_nodes=6)
+        assert graph.components() == [[0, 1, 2, 3, 4, 5]]
+
+    def test_fragments_enumerated_by_smallest_member(self):
+        graph = OverlayGraph([(4, 5), (0, 1), (2, 3)], n_nodes=6)
+        assert graph.components() == [[0, 1], [2, 3], [4, 5]]
+
+    def test_isolated_node_is_its_own_component(self):
+        graph = OverlayGraph([(0, 1)], n_nodes=3)
+        assert graph.components() == [[0, 1], [2]]
+
+
+class TestBridgeComponents:
+    def test_noop_on_connected_graph(self):
+        graph = OverlayGraph(ring_topology(5), n_nodes=5)
+        assert graph.bridge_components(np.random.default_rng(0)) == []
+
+    def test_restores_connectivity_with_minimum_edges(self):
+        graph = OverlayGraph([(0, 1), (2, 3), (4, 5)], n_nodes=6)
+        added = graph.bridge_components(np.random.default_rng(0))
+        assert len(added) == 2  # 3 components -> 2 bridges
+        assert graph.is_connected()
+
+    def test_respects_degree_bound_when_headroom_exists(self):
+        # stars: centers have degree 3, leaves degree 1
+        star = [(0, 1), (0, 2), (0, 3), (10, 11), (10, 12), (10, 13)]
+        graph = OverlayGraph(star, n_nodes=0)
+        added = graph.bridge_components(
+            np.random.default_rng(0), max_degree=2
+        )
+        assert graph.is_connected()
+        for u, v in added:
+            # bridges land on leaves (degree 1 -> 2), not the full centers
+            assert u not in (0, 10) and v not in (0, 10)
+
+    def test_connectivity_wins_when_no_headroom(self):
+        # every node saturated at max_degree=1 by its own pair edge
+        graph = OverlayGraph([(0, 1), (2, 3)], n_nodes=4)
+        added = graph.bridge_components(
+            np.random.default_rng(0), max_degree=1
+        )
+        assert graph.is_connected()
+        assert len(added) == 1
+
+    def test_rejects_nonpositive_max_degree(self):
+        graph = OverlayGraph([(0, 1), (2, 3)], n_nodes=4)
+        with pytest.raises(TopologyError, match="max_degree"):
+            graph.bridge_components(np.random.default_rng(0), max_degree=0)
+
+    def test_deterministic_in_rng(self):
+        def repair() -> list:
+            graph = OverlayGraph([(0, 1), (2, 3), (4, 5), (6, 7)], n_nodes=8)
+            return graph.bridge_components(np.random.default_rng(42))
+
+        assert repair() == repair()

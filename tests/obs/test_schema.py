@@ -41,6 +41,7 @@ V1_SPAN_NAMES = {
     "SPAN_SHARED_WALK_BATCH": "shared_walk_batch",
     "SPAN_SNAPSHOT_QUERY": "snapshot_query",
     "SPAN_FAULT_CELL": "fault_cell",
+    "SPAN_PARTITION_CELL": "partition_cell",
     "SPAN_POOL_SERVE": "pool_serve",
     "SPAN_SAMPLE_ACQUISITION": "sample_acquisition",
     "SPAN_TUPLE_SAMPLING": "tuple_sampling",
@@ -54,6 +55,11 @@ V1_EVENT_NAMES = {
     "EVENT_MESSAGE": "message",
     "EVENT_HOP": "hop",
     "EVENT_PROBE": "probe",
+    "EVENT_PARTITION_OPEN": "partition_open",
+    "EVENT_PARTITION_HEAL": "partition_heal",
+    "EVENT_BREAKER_TRIP": "breaker_trip",
+    "EVENT_BREAKER_PROBE": "breaker_probe",
+    "EVENT_POOL_INVALIDATE": "pool_invalidate",
 }
 
 

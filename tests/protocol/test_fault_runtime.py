@@ -145,6 +145,74 @@ class TestLossRecovery:
         assert plan.log.count("walk_failed") == 4 - len(sampled)
 
 
+class TestRetryExhaustion:
+    """Every attempt of a doomed walk is paid for and accounted; the
+    caller gets an honest degraded result, never an exception."""
+
+    def _doomed_sampler(self, mesh, n_retries=3):
+        # laziness=0 so every attempt sends exactly one (lost) message:
+        # the attempt accounting below is exact, not probabilistic
+        simulation = SimulationEngine()
+        ledger = MessageLedger()
+        plan = FaultPlan(FaultConfig(message_loss=0.999), rng=100)
+        sampler = ProtocolSampler(
+            mesh,
+            uniform_weights(),
+            simulation,
+            np.random.default_rng(0),
+            ledger,
+            ProtocolConfig(variant="bounce", laziness=0.0),
+            faults=plan,
+            retry=RetryPolicy(timeout=30, max_retries=n_retries),
+        )
+        return sampler, plan, ledger
+
+    def test_all_attempts_lost_never_raises(self, mesh):
+        sampler, plan, _ = self._doomed_sampler(mesh)
+        sampled = sampler.run_walks(
+            origin=0, n=4, walk_length=5, allow_partial=True
+        )
+        assert sampled == []
+        stats = sampler.walk_stats
+        assert stats.failed == 4
+        assert stats.completed == 0
+        # full budget burned: 1 initial + 3 retries per walk, all timed out
+        assert stats.attempts == stats.timeouts == 4 * 4
+        assert plan.log.count("walk_failed") == 4
+        failures = [
+            event for event in plan.log.events if event.kind == "walk_failed"
+        ]
+        assert all(e.detail == "retries_exhausted" for e in failures)
+
+    def test_every_attempt_lands_in_the_ledger(self, mesh):
+        """First attempts bill as walk traffic, every retry attempt bills
+        to ``retries`` -- nothing a doomed walk sent goes unaccounted."""
+        sampler, _, ledger = self._doomed_sampler(mesh, n_retries=3)
+        sampler.run_walks(origin=0, n=4, walk_length=5, allow_partial=True)
+        assert ledger.walk_steps == 4  # one lost first hop per walk
+        assert ledger.retries == 4 * 3  # one lost first hop per retry
+        assert ledger.breakdown()["retries"] == ledger.retries
+
+    def test_exhausted_walks_surface_degraded_estimate(self):
+        """End to end through the evaluator path: a cell whose walks
+        exhaust their retries reports ``degraded`` instead of raising."""
+        from repro.experiments import fault_tolerance
+        from repro.obs.tracer import RecordingTracer
+
+        config = fault_tolerance.FaultSweepConfig(
+            n_nodes=30, walk_length=10, timeout=40, max_retries=1
+        )
+        row = fault_tolerance._run_cell(
+            config,
+            message_loss=0.9,
+            crash_probability=0.0,
+            seed=0,
+            tracer=RecordingTracer(),
+        )
+        assert row.n_achieved < row.n_required
+        assert row.degraded
+
+
 class TestCrashSurvival:
     def test_walks_survive_mid_run_crashes(self):
         graph = OverlayGraph(mesh_topology(25), n_nodes=25)

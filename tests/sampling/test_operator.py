@@ -200,3 +200,107 @@ class TestTupleSampling:
         node, batch = operator.cluster_sample(database, origin=0)
         assert len(batch) == len(database.store(node))
         assert all(s.node == node for s in batch)
+
+
+class TestPartitionScoping:
+    def _partitioned_world(self, n=30, seed=0, fractions=(0.5, 0.5)):
+        from repro.network.partitions import (
+            PartitionEpisode,
+            PartitionPlan,
+            PartitionSchedule,
+        )
+
+        graph, database = _world(n=n, seed=seed)
+        plan = PartitionPlan(
+            PartitionSchedule(
+                episodes=(
+                    PartitionEpisode(
+                        start=0, duration=10, fractions=fractions
+                    ),
+                )
+            ),
+            rng=seed + 3,
+        )
+        plan.step(0, graph)
+        return graph, database, plan
+
+    def test_samples_confined_to_origin_region(self):
+        graph, database, plan = self._partitioned_world()
+        operator = SamplingOperator(
+            graph,
+            np.random.default_rng(1),
+            config=SamplerConfig(walk_length=30, continued_walks=False),
+            partitions=plan,
+        )
+        origin = 0
+        scope = set(plan.reachable(graph, origin))
+        assert len(scope) < len(graph)
+        sampled = operator.sample_nodes(uniform_weights(), 40, origin)
+        assert set(sampled) <= scope
+
+    def test_singleton_scope_degenerates_to_origin(self):
+        from repro.network.partitions import (
+            PartitionEpisode,
+            PartitionPlan,
+            PartitionSchedule,
+        )
+
+        # two nodes, one edge: a 50/50 cut always isolates the origin
+        graph = OverlayGraph([(0, 1)], n_nodes=2)
+        plan = PartitionPlan(
+            PartitionSchedule(
+                episodes=(PartitionEpisode(start=0, duration=5),)
+            ),
+            rng=0,
+        )
+        plan.step(0, graph)
+        operator = SamplingOperator(
+            graph,
+            np.random.default_rng(1),
+            config=SamplerConfig(walk_length=5, continued_walks=False),
+            partitions=plan,
+        )
+        assert operator.sample_nodes(uniform_weights(), 4, 0) == [0, 0, 0, 0]
+
+    def test_inactive_plan_is_rng_transparent(self):
+        """An idle partition plan must not perturb the walk draws."""
+        from repro.network.partitions import (
+            PartitionEpisode,
+            PartitionPlan,
+            PartitionSchedule,
+        )
+
+        def draws(with_plan: bool) -> list[int]:
+            graph, database = _world(seed=4)
+            plan = None
+            if with_plan:
+                plan = PartitionPlan(
+                    PartitionSchedule(
+                        episodes=(PartitionEpisode(start=50, duration=5),)
+                    ),
+                    rng=9,
+                )
+                plan.step(0, graph)
+            operator = SamplingOperator(
+                graph,
+                np.random.default_rng(7),
+                config=SamplerConfig(walk_length=20, continued_walks=False),
+                partitions=plan,
+            )
+            return operator.sample_nodes(uniform_weights(), 15, 0)
+
+        assert draws(False) == draws(True)
+
+    def test_full_sampling_resumes_after_heal(self):
+        graph, database, plan = self._partitioned_world()
+        operator = SamplingOperator(
+            graph,
+            np.random.default_rng(1),
+            config=SamplerConfig(walk_length=30, continued_walks=False),
+            partitions=plan,
+        )
+        plan.step(10, graph)  # heal
+        assert not plan.active
+        sampled = operator.sample_nodes(uniform_weights(), 60, 0)
+        # walks roam the whole overlay again
+        assert len(set(sampled)) > len(graph) // 2

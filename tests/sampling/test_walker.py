@@ -176,3 +176,55 @@ class TestBatchWalk:
         # two independent 8000-draw histograms over 40 bins have expected
         # TV ~ 0.03-0.04 even for identical chains; 0.06 flags real skew
         assert total_variation(batch_hist, single_hist) < 0.06
+
+
+class TestFromSubgraph:
+    def test_keeps_only_intra_scope_edges(self):
+        graph = OverlayGraph(ring_topology(8), n_nodes=8)
+        context = WalkContext.from_subgraph(
+            graph, uniform_weights(), nodes=[0, 1, 2, 3]
+        )
+        assert context.node_ids.tolist() == [0, 1, 2, 3]
+        # the ring arc 0-1-2-3 keeps its 3 internal edges; the wrap-around
+        # edges (0,7) and (3,4) are dropped
+        assert context.degrees.tolist() == [1, 2, 2, 1]
+
+    def test_matches_from_graph_on_full_scope(self):
+        graph = OverlayGraph(mesh_topology(16), n_nodes=16)
+        full = WalkContext.from_graph(graph, uniform_weights())
+        scoped = WalkContext.from_subgraph(
+            graph, uniform_weights(), nodes=graph.nodes()
+        )
+        assert scoped.node_ids.tolist() == full.node_ids.tolist()
+        assert scoped.offsets.tolist() == full.offsets.tolist()
+        assert scoped.targets.tolist() == full.targets.tolist()
+
+    def test_rejects_empty_scope(self):
+        graph = OverlayGraph(ring_topology(4), n_nodes=4)
+        with pytest.raises(SamplingError, match="no nodes"):
+            WalkContext.from_subgraph(graph, uniform_weights(), nodes=[])
+
+    def test_rejects_internally_disconnected_scope(self):
+        # 0 and 2 are opposite corners of a 4-ring: scope {0, 2} has no
+        # internal edges, leaving both isolated
+        graph = OverlayGraph(ring_topology(4), n_nodes=4)
+        with pytest.raises(TopologyError, match="isolated"):
+            WalkContext.from_subgraph(graph, uniform_weights(), nodes=[0, 2])
+
+    def test_walks_never_leave_the_scope(self):
+        graph = OverlayGraph(ring_topology(10), n_nodes=10)
+        context = WalkContext.from_subgraph(
+            graph, uniform_weights(), nodes=[0, 1, 2, 3, 4]
+        )
+        rng = np.random.default_rng(0)
+        starts = np.zeros(32, dtype=np.int64)
+        final = batch_walk(context, starts, steps=50, rng=rng)
+        sampled = {int(context.node_ids[index]) for index in final}
+        assert sampled <= {0, 1, 2, 3, 4}
+
+    def test_single_node_scope_is_allowed(self):
+        graph = OverlayGraph(ring_topology(4), n_nodes=4)
+        context = WalkContext.from_subgraph(
+            graph, uniform_weights(), nodes=[1]
+        )
+        assert context.n_nodes == 1

@@ -21,6 +21,7 @@ def collector(tmp_path, monkeypatch):
     monkeypatch.setattr(
         module, "MULTI_QUERY_JSON", tmp_path / "BENCH_multi_query.json"
     )
+    monkeypatch.setattr(module, "FAULTS_JSON", tmp_path / "BENCH_faults.json")
     return module, results
 
 
@@ -82,6 +83,24 @@ def test_promotes_multi_query_payload(collector):
     module.main()
     assert module.MULTI_QUERY_JSON.exists()
     assert json.loads(module.MULTI_QUERY_JSON.read_text()) == payload
+
+
+def test_promotes_fault_overhead_payload(collector):
+    import json
+
+    module, results = collector
+    payload = {"overhead": 0.04, "samples_identical": True}
+    (results / "fault_overhead.json").write_text(json.dumps(payload))
+    module.main()
+    assert module.FAULTS_JSON.exists()
+    assert json.loads(module.FAULTS_JSON.read_text()) == payload
+
+
+def test_no_fault_overhead_payload_is_fine(collector):
+    module, results = collector
+    (results / "fig4a.txt").write_text("FIG4A TABLE\n")
+    module.main()
+    assert not module.FAULTS_JSON.exists()
 
 
 def test_no_multi_query_payload_is_fine(collector):

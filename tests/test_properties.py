@@ -144,6 +144,128 @@ def test_property_rewire_preserves_connectivity(
 
 
 # ----------------------------------------------------------------------
+# partition heal repair: connectivity restored within degree bounds
+# ----------------------------------------------------------------------
+
+def _reference_components(nodes, edges):
+    """Connected components of an (nodes, edges) snapshot, test-local."""
+    adjacency = {node: set() for node in nodes}
+    for u, v in edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    seen, components = set(), []
+    for start in nodes:
+        if start in seen:
+            continue
+        component, frontier = {start}, [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        seen |= component
+        components.append(sorted(component))
+    return components
+
+
+@given(
+    data=connected_graph_with_weights(),
+    seed=st.integers(0, 10_000),
+    duration=st.integers(2, 5),
+    max_degree=st.integers(2, 6),
+    leave_probability=st.floats(0.0, 0.35),
+    join_rate=st.floats(0.0, 1.5),
+    crash_probability=st.floats(0.0, 0.3),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_partition_heal_restores_connectivity_within_bounds(
+    data,
+    seed,
+    duration,
+    max_degree,
+    leave_probability,
+    join_rate,
+    crash_probability,
+):
+    """Under any churn+crash+partition interleaving, the heal-time repair
+    reconnects the survivors, and every bridge endpoint either had degree
+    headroom or sat in a component where nobody did (connectivity wins)."""
+    from repro.network.churn import ChurnConfig, ChurnProcess
+    from repro.network.faults import CrashProcess, FaultConfig, FaultPlan
+    from repro.network.partitions import (
+        PartitionEpisode,
+        PartitionPlan,
+        PartitionSchedule,
+    )
+
+    edges, n, _ = data
+    graph = OverlayGraph(edges, n_nodes=n)
+    plan = PartitionPlan(
+        PartitionSchedule(
+            episodes=(PartitionEpisode(start=0, duration=duration),)
+        ),
+        rng=seed + 1,
+        heal_policy="repair",
+        max_degree=max_degree,
+    )
+    churn = ChurnProcess(
+        graph,
+        # rewire=False departures are what genuinely fragments the
+        # overlay mid-episode; the heal-time repair must cope with it
+        ChurnConfig(
+            leave_probability=leave_probability,
+            join_rate=join_rate,
+            rewire=False,
+            min_nodes=2,
+        ),
+        rng=np.random.default_rng(seed),
+    )
+    crash = CrashProcess(
+        graph,
+        FaultPlan(
+            FaultConfig(crash_probability=crash_probability, min_nodes=2),
+            rng=seed + 2,
+        ),
+    )
+    for time in range(duration):
+        plan.step(time, graph)
+        churn.step()
+        crash.step(time)
+
+    # snapshot the pre-heal state the repair must respect
+    degrees_before = {node: graph.degree(node) for node in graph.nodes()}
+    edges_before = set(graph.edges())
+    components_before = _reference_components(graph.nodes(), edges_before)
+
+    plan.step(duration, graph)  # the heal tick
+    assert not plan.active
+    if len(graph) > 1:
+        assert graph.is_connected()
+
+    added = set(graph.edges()) - edges_before
+    component_of = {
+        node: index
+        for index, component in enumerate(components_before)
+        for node in component
+    }
+    saturated = [
+        all(degrees_before[node] >= max_degree for node in component)
+        for component in components_before
+    ]
+    for u, v in added:
+        for endpoint in (u, v):
+            assert (
+                degrees_before[endpoint] < max_degree
+                or saturated[component_of[endpoint]]
+            )
+    # components chain left-to-right, so repair adds at most two bridge
+    # edges per node (an interior component's inbound and outbound link)
+    for node in degrees_before:
+        assert graph.degree(node) <= degrees_before[node] + 2
+
+
+# ----------------------------------------------------------------------
 # allocation solver invariants
 # ----------------------------------------------------------------------
 

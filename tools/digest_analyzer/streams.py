@@ -25,6 +25,8 @@ from __future__ import annotations
 SINK_LABELS: dict[str, str] = {
     # fault injection
     "FaultPlan": "fault",
+    # correlated partition / flap schedule
+    "PartitionPlan": "partition",
     # membership churn
     "ChurnProcess": "churn",
     # shared sample pool / engine substrate (one stream by design:
