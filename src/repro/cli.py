@@ -21,6 +21,10 @@ Four subcommands::
     repro-digest trace replay --input trace.jsonl --query "..."  [...]
         Record a workload into the portable trace format / replay one.
 
+    repro-digest trace summarize|attribute|flame|tail --input t.jsonl
+        Analyze an exported telemetry trace; ``tail`` streams it through
+        the live window/alert pipeline (one line per closed window).
+
 Also runnable as ``python -m repro``.
 """
 
@@ -87,6 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "fault_tolerance",
             "multi_query",
             "partition_tolerance",
+            "slo_audit",
         ),
     )
     _add_common(experiment)
@@ -156,6 +161,29 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("time", "count"),
         default="time",
         help="stack weight: self sim-time (default) or span count",
+    )
+    tail = trace_commands.add_parser(
+        "tail",
+        help=(
+            "stream a telemetry trace through the live pipeline: one line "
+            "per closed window, with alert transitions interleaved"
+        ),
+    )
+    tail.add_argument("--input", required=True)
+    tail.add_argument(
+        "--rules",
+        default=None,
+        metavar="PATH",
+        help="JSON alert-rules file to evaluate while tailing",
+    )
+    tail.add_argument(
+        "--width", type=int, default=None, help="window width (sim ticks)"
+    )
+    tail.add_argument(
+        "--slide",
+        type=int,
+        default=None,
+        help="windows per sliding (burn-rate) view",
     )
     return parser
 
@@ -251,6 +279,13 @@ def _run_experiment(args: argparse.Namespace) -> int:
             else partition_tolerance.PartitionSweepConfig()
         )
         emit(partition_tolerance.run(config, seed=args.seed).to_table())
+    elif name == "slo_audit":
+        from repro.experiments import slo_audit
+
+        argv = ["--seed", str(args.seed)]
+        if args.scale < 1.0:  # scale < 1 maps to the reduced CI sweep
+            argv.append("--smoke")
+        return slo_audit.main(argv)
     return 0
 
 
@@ -518,6 +553,75 @@ def _flame_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tail_trace(args: argparse.Namespace) -> int:
+    from repro.obs import import_trace
+    from repro.obs.alerts import FIRING, AlertEngine, load_rules
+    from repro.obs.audit import auditor_from_trace
+    from repro.obs.live import LivePipeline, WindowConfig, feed_trace
+
+    trace = import_trace(args.input)
+    defaults = WindowConfig()
+    config = WindowConfig(
+        width=args.width if args.width is not None else defaults.width,
+        slide=args.slide if args.slide is not None else defaults.slide,
+    )
+    rules = load_rules(args.rules) if args.rules else []
+    pipeline = LivePipeline(config)
+    engine = AlertEngine(pipeline, rules)
+    auditor = auditor_from_trace(trace)
+    span_observer = None
+    if auditor is not None:
+        pipeline.add_contributor(auditor.signals)
+        span_observer = auditor.observe_span
+
+    emit(f"trace: {args.input}")
+    if trace.meta:
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(trace.meta.items()))
+        emit(f"meta: {meta}")
+    emit(
+        f"window width={config.width} slide={config.slide} "
+        f"rules={len(rules)} audit={'on' if auditor else 'off'}\n"
+    )
+
+    seen_transitions = 0
+
+    def _print_window(window) -> None:
+        nonlocal seen_transitions
+        signals = window.signals()
+        partial = "~" if window.partial else " "
+        line = (
+            f"[{window.start:5d},{window.end:5d}){partial} "
+            f"walks={signals['walk_count']:5.0f} "
+            f"fail={signals['walk_failure_fraction']:5.2f} "
+            f"msg/t={signals['message_rate']:7.1f} "
+            f"pool={signals['pool_hit_ratio']:5.2f} "
+            f"degr={signals['degraded_fraction']:5.2f} "
+            f"faults={signals['fault_count']:4.0f}"
+        )
+        if "audit_burn_rate" in signals:
+            line += f" burn={signals['audit_burn_rate']:6.2f}"
+        emit(line)
+        # the engine's listener ran first (it subscribed first), so any
+        # transitions this window produced are already appended
+        for transition in engine.transitions[seen_transitions:]:
+            state = "FIRING" if transition.state == FIRING else "resolved"
+            emit(
+                f"  ! {state:8s} {transition.rule}: "
+                f"{transition.signal}={transition.value:g} "
+                f"(threshold {transition.threshold:g}, {transition.kind})"
+            )
+        seen_transitions = len(engine.transitions)
+
+    pipeline.add_listener(_print_window)
+    feed_trace(pipeline, trace, span_observer=span_observer)
+    firing = engine.firing
+    emit(
+        f"\n{seen_transitions} alert transitions; "
+        f"still firing at end: {', '.join(firing) if firing else 'none'}"
+    )
+    return 0
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "summarize":
         return _summarize_trace(args)
@@ -525,6 +629,8 @@ def _run_trace(args: argparse.Namespace) -> int:
         return _attribute_trace(args)
     if args.trace_command == "flame":
         return _flame_trace(args)
+    if args.trace_command == "tail":
+        return _tail_trace(args)
     if args.trace_command == "record":
         from repro.datasets.traces import TraceRecorder
         from repro.experiments.harness import build_instance

@@ -57,6 +57,9 @@ from repro.network.faults import FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
 from repro.network.partitions import PartitionPlan
+from repro.obs.alerts import AlertEngine, AlertRule
+from repro.obs.audit import META_PROMISES, AuditVerdict, GuaranteeAuditor
+from repro.obs.live import META_FINISHED_AT, LivePipeline, WindowConfig
 from repro.obs.schema import SPAN_POOL_SERVE, SPAN_SNAPSHOT_QUERY, SPAN_WALK
 from repro.obs.tracer import RunMetricsSink, SinkTracer, Span, TraceEvent
 from repro.sampling.operator import SamplerConfig, SampleSource
@@ -203,6 +206,9 @@ class QueryRuntime:
         self.subscriptions: list[NotificationFilter] = []
         self.next_due = continuous_query.start_time
         self.next_trigger = "bootstrap"
+        #: the session's guarantee audit of the latest snapshot (None
+        #: until the first snapshot runs); see :mod:`repro.obs.audit`
+        self.audit_verdict: AuditVerdict | None = None
 
     def due_at(self, time: int) -> bool:
         """Is a snapshot query due for this runtime at ``time``?"""
@@ -246,6 +252,13 @@ class DigestSession:
         self.metrics = RunMetrics()
         self.tracer = tracer if tracer is not None else SinkTracer()
         self.tracer.add_sink(RunMetricsSink(self.metrics))
+        #: simulated time of the step in progress; wired into the tracer
+        #: (unless the caller supplied its own clock) so untimed records
+        #: deep inside the sampling stack are stamped with real sim time
+        #: — the live pipeline can only window timed records
+        self._sim_now = 0
+        if not self.tracer.has_clock:
+            self.tracer.set_clock(lambda: self._sim_now)
         #: correlated-failure plan; with one wired in, every step
         #: re-derives the origin's reachable scope, invalidates pooled
         #: samples on scope changes, and re-scopes estimates honestly
@@ -267,6 +280,11 @@ class DigestSession:
         self._next_auto_id = 0
         #: coalesced prefetch batches issued (>= 2 co-due queries)
         self.batches_coalesced = 0
+        #: live guarantee auditor; every registered query's promise is
+        #: declared here and every snapshot is observed against it
+        self.auditor = GuaranteeAuditor()
+        self.live_pipeline: LivePipeline | None = None
+        self.alert_engine: AlertEngine | None = None
 
     # ------------------------------------------------------------------
     # registration
@@ -370,6 +388,18 @@ class DigestSession:
             source=source,
         )
         self.tracer.add_sink(_QueryScopedSink(query_id, runtime.metrics))
+        self.auditor.register(
+            query_id,
+            continuous_query.precision.epsilon,
+            continuous_query.precision.confidence,
+        )
+        # recorded so a replayed trace can rebuild the auditor (and hence
+        # the audit_* burn-rate signals) without this session
+        promises = self.tracer.meta.setdefault(META_PROMISES, {})
+        promises[query_id] = {
+            "epsilon": continuous_query.precision.epsilon,
+            "confidence": continuous_query.precision.confidence,
+        }
         self._runtimes[query_id] = runtime
         return query_id
 
@@ -419,6 +449,7 @@ class DigestSession:
         evaluates the due queries in sorted query-id order. Returns the
         snapshot estimates of the queries that executed this step.
         """
+        self._sim_now = time
         self.pool.begin_epoch(time)
         fraction = self._refresh_scope(time)
         due = [
@@ -538,10 +569,18 @@ class DigestSession:
         # counters (snapshot_queries, samples_*, degraded_estimates) are
         # derived from this span by the RunMetricsSink — session-wide on
         # the session metrics, query-scoped on the runtime metrics.
+        self.auditor.observe(runtime.query_id, time, estimate)
+        runtime.audit_verdict = self.auditor.verdict(runtime.query_id)
         if estimate.reachable_fraction < 1.0:
             # only set on actually-partitioned snapshots so partition-free
             # traces stay byte-identical to the pre-partition format
             span.set(reachable_fraction=estimate.reachable_fraction)
+        if estimate.achieved_epsilon is not None:
+            # likewise: the honest re-statements exist only on degraded
+            # estimates, so clean traces keep the historical byte layout
+            span.set(achieved_epsilon=estimate.achieved_epsilon)
+        if estimate.achieved_confidence is not None:
+            span.set(achieved_confidence=estimate.achieved_confidence)
         self.tracer.end(
             span,
             time=time,
@@ -604,6 +643,48 @@ class DigestSession:
             achieved_confidence=ach_conf,
             reachable_fraction=fraction,
         )
+
+    # ------------------------------------------------------------------
+    # live observability
+    # ------------------------------------------------------------------
+
+    def attach_live(
+        self,
+        rules: list[AlertRule] | tuple[AlertRule, ...] = (),
+        window_config: WindowConfig | None = None,
+    ) -> tuple[LivePipeline, AlertEngine]:
+        """Attach the live analytics pipeline and alert engine.
+
+        The pipeline becomes one more sink on the session's tracer (no
+        JSONL round-trip); the guarantee auditor contributes its
+        ``audit_burn_rate`` / ``audit_violation_fraction`` signals to
+        every window, and the engine emits alert transitions back
+        through the same tracer — so they land in the recorded trace and
+        in the :class:`~repro.obs.tracer.RunMetricsSink` counters. Call
+        :meth:`finish_live` at end of run to close the final window.
+        """
+        if self.live_pipeline is not None:
+            raise QueryError("live pipeline already attached")
+        pipeline = LivePipeline(window_config)
+        pipeline.add_contributor(self.auditor.signals)
+        engine = AlertEngine(pipeline, list(rules), tracer=self.tracer)
+        self.tracer.add_sink(pipeline)
+        self.live_pipeline = pipeline
+        self.alert_engine = engine
+        return pipeline, engine
+
+    def finish_live(self, time: int) -> None:
+        """Close the live pipeline's final window at the run's last tick.
+
+        Also stamps the finish time into the tracer's metadata
+        (:data:`~repro.obs.live.META_FINISHED_AT`) so a replayed trace
+        closes its final window — and fires any resulting transitions —
+        at the same simulated time.
+        """
+        if self.live_pipeline is None:
+            return
+        self.tracer.meta[META_FINISHED_AT] = time
+        self.live_pipeline.finish(time)
 
     def next_due(self) -> int | None:
         """Earliest upcoming snapshot time across still-active queries."""

@@ -30,7 +30,11 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.network.faults import FaultLog
-from repro.obs.schema import EVENT_BREAKER_PROBE, EVENT_BREAKER_TRIP
+from repro.obs.schema import (
+    EVENT_BREAKER_CLOSE,
+    EVENT_BREAKER_PROBE,
+    EVENT_BREAKER_TRIP,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - layering: network stays obs-light
     from repro.obs.tracer import Tracer
@@ -238,7 +242,15 @@ class HealthMonitor:
         ) * (1.0 if ok else 0.0)
         breaker = self.breaker(origin, neighbor)
         if ok:
+            was_open = breaker.is_open
             breaker.record_success(time)
+            if was_open:
+                self._tracer.event(
+                    EVENT_BREAKER_CLOSE,
+                    time=time,
+                    origin=origin,
+                    neighbor=neighbor,
+                )
         elif breaker.record_failure(time):
             self.trips += 1
             self._fault_log.record(

@@ -23,12 +23,32 @@ retry or extrapolation decision produced it. This package is that layer:
   counter reconstruction and the trace-vs-live consistency check.
 * :mod:`repro.obs.console` — the single stdout sink (digest-lint DGL007
   bans bare ``print()`` inside ``src/repro``).
+* :mod:`repro.obs.live` — bounded-memory *streaming* analytics: a
+  :class:`TraceSink` maintaining tumbling/sliding windows over the span
+  stream as the run executes (and :func:`~repro.obs.live.feed_trace`
+  to replay a finished trace through the same pipeline).
+* :mod:`repro.obs.alerts` — declarative threshold / burn-rate / absence
+  alert rules with for-duration hysteresis over the live windows; every
+  firing→resolved transition is itself a schema-registered trace event,
+  so alerting replays deterministically.
+* :mod:`repro.obs.audit` — the per-query guarantee auditor: promised
+  vs. achieved ``(epsilon, p)`` and the SLO burn rate.
 
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and worked examples.
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    AlertTransition,
+    load_rules,
+    replay_alerts,
+    verify_alert_replay,
+)
+from repro.obs.audit import AuditVerdict, GuaranteeAuditor, GuaranteePromise
 from repro.obs.console import emit
 from repro.obs.export import export_trace, import_trace
+from repro.obs.live import LivePipeline, WindowConfig, WindowStats, feed_trace
 from repro.obs.profile import WallClockProfiler
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import (
@@ -48,9 +68,16 @@ from repro.obs.tracer import (
 
 __all__ = [
     "NULL_TRACER",
+    "AlertEngine",
+    "AlertRule",
+    "AlertTransition",
+    "AuditVerdict",
     "Counter",
     "Gauge",
+    "GuaranteeAuditor",
+    "GuaranteePromise",
     "Histogram",
+    "LivePipeline",
     "MetricsRegistry",
     "NullTracer",
     "RecordingTracer",
@@ -63,8 +90,14 @@ __all__ = [
     "TraceSink",
     "Tracer",
     "WallClockProfiler",
+    "WindowConfig",
+    "WindowStats",
     "bridge_fault_log",
     "emit",
     "export_trace",
+    "feed_trace",
     "import_trace",
+    "load_rules",
+    "replay_alerts",
+    "verify_alert_replay",
 ]

@@ -23,6 +23,8 @@ from __future__ import annotations
 from repro.obs.registry import DEFAULT_DURATION_BUCKETS, Histogram
 from repro.obs.schema import (
     EVENT_ADVERTISEMENT,
+    EVENT_ALERT_FIRING,
+    EVENT_ALERT_RESOLVED,
     EVENT_FAULT,
     EVENT_MESSAGE,
     EVENT_PROBE,
@@ -47,6 +49,8 @@ COUNTER_FIELDS = (
     "degraded_estimates",
     "pool_hits",
     "pool_misses",
+    "alerts_fired",
+    "alerts_resolved",
 )
 
 
@@ -210,6 +214,24 @@ def fault_timeline(trace: Trace) -> list[TraceEvent]:
     """All fault events in time order (time ``-1`` = outside the loop)."""
     return sorted(
         (event for event in trace.events if event.name == EVENT_FAULT),
+        key=lambda event: event.time,
+    )
+
+
+def alert_timeline(trace: Trace) -> list[TraceEvent]:
+    """All alert firing/resolved transitions in time order.
+
+    Alert transitions are recorded as loose schema events by the live
+    alert engine (:mod:`repro.obs.alerts`), so a finished trace replays
+    the alerting history without re-running the pipeline. The sort is
+    stable: same-tick transitions keep their emission order.
+    """
+    return sorted(
+        (
+            event
+            for event in trace.events
+            if event.name in (EVENT_ALERT_FIRING, EVENT_ALERT_RESOLVED)
+        ),
         key=lambda event: event.time,
     )
 

@@ -1,0 +1,285 @@
+"""Per-query guarantee auditing: promised vs. achieved ``(ε, p)``.
+
+The paper's contract is live — at every update time the estimate must
+satisfy ``|X̂ − X| <= ε`` with probability ``p`` — so the reproduction
+should judge it live too. A :class:`GuaranteeAuditor` is registered with
+each query's *promise* (its precision parameters) and observes every
+:class:`~repro.core.snapshot.SnapshotEstimate` the session produces for
+it. An observation violates the promise when the evaluator had to
+degrade it, or when its honest re-statement (``achieved_epsilon`` /
+``achieved_confidence``) falls short of what was promised.
+
+SLO framing: a promise of confidence ``p`` budgets a ``1 − p`` fraction
+of violating snapshots. The **burn rate** over the recent observation
+window is::
+
+    burn = violating_fraction / (1 - p)
+
+``burn <= 1`` means the query is living within its error budget;
+``burn > 1`` means it is burning budget faster than the promise allows
+(the standard SRE reading, per-query). :meth:`GuaranteeAuditor.signals`
+exposes the worst burn rate and the overall recent violation fraction as
+live-pipeline contributor signals, so burn-rate alert rules
+(:mod:`repro.obs.alerts`) can page on them; :meth:`verdict` renders one
+query's full audit as an immutable :class:`AuditVerdict`.
+
+This module deliberately imports nothing from ``repro.core`` at runtime
+(the session imports *us*); estimates are duck-typed on the
+``SnapshotEstimate`` fields it reads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import QueryError
+from repro.obs.schema import SPAN_SNAPSHOT_QUERY
+
+if TYPE_CHECKING:  # pragma: no cover - layering: core imports obs.audit
+    from repro.core.snapshot import SnapshotEstimate
+    from repro.obs.tracer import Span, Trace
+
+#: trace meta key under which a session records every query's promise
+#: (``{query_id: {"epsilon": ..., "confidence": ...}}``), so a replayed
+#: trace can rebuild the auditor — and therefore the burn-rate signals —
+#: without the session that produced it
+META_PROMISES = "promises"
+
+
+@dataclass(frozen=True)
+class GuaranteePromise:
+    """One query's declared precision contract."""
+
+    query_id: str
+    epsilon: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence < 1.0:
+            raise QueryError(
+                f"promise for {self.query_id!r}: confidence must be in "
+                f"(0, 1), got {self.confidence}"
+            )
+        if self.epsilon <= 0.0:
+            raise QueryError(
+                f"promise for {self.query_id!r}: epsilon must be > 0, "
+                f"got {self.epsilon}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """Allowed violating fraction (``1 - p``)."""
+        return 1.0 - self.confidence
+
+
+@dataclass(frozen=True)
+class AuditVerdict:
+    """One query's audit standing at a point in the run."""
+
+    query_id: str
+    promised_epsilon: float
+    promised_confidence: float
+    snapshots: int
+    violations: int
+    recent_violations: int
+    recent_window: int
+    burn_rate: float
+    ok: bool
+
+    @property
+    def violation_fraction(self) -> float:
+        return self.violations / self.snapshots if self.snapshots else 0.0
+
+
+class GuaranteeAuditor:
+    """Continuously compares achieved precision against each promise.
+
+    ``recent_window`` bounds the burn-rate horizon: the rate is computed
+    over the last that-many observations per query (bounded memory, and
+    a recovered query stops paging once the bad snapshots age out).
+    """
+
+    def __init__(self, recent_window: int = 16) -> None:
+        if recent_window < 1:
+            raise QueryError(
+                f"recent_window must be >= 1, got {recent_window}"
+            )
+        self.recent_window = recent_window
+        self._promises: dict[str, GuaranteePromise] = {}
+        self._recent: dict[str, deque[bool]] = {}
+        self._snapshots: dict[str, int] = {}
+        self._violations: dict[str, int] = {}
+
+    def register(
+        self, query_id: str, epsilon: float, confidence: float
+    ) -> GuaranteePromise:
+        """Declare one query's promise (idempotent for equal promises)."""
+        promise = GuaranteePromise(query_id, epsilon, confidence)
+        existing = self._promises.get(query_id)
+        if existing is not None and existing != promise:
+            raise QueryError(
+                f"query {query_id!r} already registered with a different "
+                f"promise"
+            )
+        self._promises[query_id] = promise
+        self._recent.setdefault(
+            query_id, deque(maxlen=self.recent_window)
+        )
+        self._snapshots.setdefault(query_id, 0)
+        self._violations.setdefault(query_id, 0)
+        return promise
+
+    def query_ids(self) -> list[str]:
+        return sorted(self._promises)
+
+    def violates(self, query_id: str, estimate: "SnapshotEstimate") -> bool:
+        """Does this estimate break the query's promise?
+
+        A degraded estimate is a violation by definition (the evaluator
+        itself declared the contract unmet); additionally, an honest
+        re-statement that promises less than the contract — wider
+        interval at the promised confidence, or less confidence at the
+        promised interval — violates even if the degraded flag were ever
+        decoupled from it.
+        """
+        promise = self._promise(query_id)
+        if estimate.degraded:
+            return True
+        achieved_eps = estimate.achieved_epsilon
+        if achieved_eps is not None and achieved_eps > promise.epsilon:
+            return True
+        achieved_conf = estimate.achieved_confidence
+        return achieved_conf is not None and achieved_conf < promise.confidence
+
+    def observe(
+        self, query_id: str, time: int, estimate: "SnapshotEstimate"
+    ) -> bool:
+        """Record one snapshot observation; returns its violation flag."""
+        violated = self.violates(query_id, estimate)
+        self._snapshots[query_id] += 1
+        if violated:
+            self._violations[query_id] += 1
+        self._recent[query_id].append(violated)
+        return violated
+
+    def _promise(self, query_id: str) -> GuaranteePromise:
+        try:
+            return self._promises[query_id]
+        except KeyError:
+            raise QueryError(
+                f"no promise registered for query {query_id!r}"
+            ) from None
+
+    def burn_rate(self, query_id: str) -> float:
+        """Recent violating fraction over the promise's error budget."""
+        promise = self._promise(query_id)
+        recent = self._recent[query_id]
+        if not recent:
+            return 0.0
+        fraction = sum(recent) / len(recent)
+        return fraction / promise.error_budget
+
+    def verdict(self, query_id: str) -> AuditVerdict:
+        """The query's current audit standing."""
+        promise = self._promise(query_id)
+        recent = self._recent[query_id]
+        burn = self.burn_rate(query_id)
+        return AuditVerdict(
+            query_id=query_id,
+            promised_epsilon=promise.epsilon,
+            promised_confidence=promise.confidence,
+            snapshots=self._snapshots[query_id],
+            violations=self._violations[query_id],
+            recent_violations=sum(recent),
+            recent_window=self.recent_window,
+            burn_rate=burn,
+            ok=burn <= 1.0,
+        )
+
+    def verdicts(self) -> dict[str, AuditVerdict]:
+        """All verdicts, keyed by query id (sorted)."""
+        return {query_id: self.verdict(query_id) for query_id in self.query_ids()}
+
+    def signals(self) -> dict[str, float]:
+        """Live-pipeline contributor signals (worst-case across queries)."""
+        burns = [self.burn_rate(query_id) for query_id in self._promises]
+        recents = [len(r) for r in self._recent.values()]
+        violations = [sum(r) for r in self._recent.values()]
+        total_recent = sum(recents)
+        return {
+            "audit_burn_rate": max(burns, default=0.0),
+            "audit_violation_fraction": (
+                sum(violations) / total_recent if total_recent else 0.0
+            ),
+        }
+
+    def observe_span(self, span: "Span") -> bool | None:
+        """Observe one replayed ``snapshot_query`` span (else no-op).
+
+        The replay-side twin of the session calling :meth:`observe` with
+        the real :class:`~repro.core.snapshot.SnapshotEstimate`: the span
+        carries the fields the audit reads (``degraded`` always, the
+        honest re-statements only when set — exactly the live layout).
+        Returns the violation flag, or ``None`` when the span is not an
+        audited snapshot.
+        """
+        if span.name != SPAN_SNAPSHOT_QUERY:
+            return None
+        query_id = span.attrs.get("query")
+        if not isinstance(query_id, str) or query_id not in self._promises:
+            return None
+        time = span.end if span.end is not None else span.start
+        observation = _SpanObservation(
+            degraded=bool(span.attrs.get("degraded", False)),
+            achieved_epsilon=_as_optional_float(
+                span.attrs.get("achieved_epsilon")
+            ),
+            achieved_confidence=_as_optional_float(
+                span.attrs.get("achieved_confidence")
+            ),
+        )
+        return self.observe(query_id, time, observation)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class _SpanObservation:
+    """Duck-typed stand-in for a SnapshotEstimate during trace replay."""
+
+    degraded: bool
+    achieved_epsilon: float | None
+    achieved_confidence: float | None
+
+
+def _as_optional_float(value: object) -> float | None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def auditor_from_trace(
+    trace: "Trace", recent_window: int = 16
+) -> GuaranteeAuditor | None:
+    """Rebuild an auditor from a trace's recorded promises (or ``None``).
+
+    Reads :data:`META_PROMISES` from the trace metadata; a trace
+    produced without a session (or before promises were recorded) has
+    none, and replay proceeds without audit signals.
+    """
+    raw = trace.meta.get(META_PROMISES)
+    if not isinstance(raw, dict) or not raw:
+        return None
+    auditor = GuaranteeAuditor(recent_window=recent_window)
+    for query_id in sorted(raw):
+        promise = raw[query_id]
+        if not isinstance(promise, dict):
+            raise QueryError(
+                f"malformed promise for query {query_id!r} in trace meta"
+            )
+        auditor.register(
+            str(query_id),
+            float(promise["epsilon"]),
+            float(promise["confidence"]),
+        )
+    return auditor

@@ -135,6 +135,12 @@ EVENT_BREAKER_TRIP = "breaker_trip"
 EVENT_BREAKER_PROBE = "breaker_probe"
 #: A reachability change evicting pooled samples wholesale (loose).
 EVENT_POOL_INVALIDATE = "pool_invalidate"
+#: A previously open circuit breaker re-closing after a successful probe (loose).
+EVENT_BREAKER_CLOSE = "breaker_close"
+#: An alert rule transitioning into the firing state (loose).
+EVENT_ALERT_FIRING = "alert_firing"
+#: A firing alert rule transitioning back to resolved (loose).
+EVENT_ALERT_RESOLVED = "alert_resolved"
 
 
 SPAN_SCHEMAS: dict[str, SpanSchema] = {
@@ -168,7 +174,12 @@ SPAN_SCHEMAS: dict[str, SpanSchema] = {
                 "n_retained",
                 "degraded",
             ),
-            optional=("query", "reachable_fraction"),
+            optional=(
+                "query",
+                "reachable_fraction",
+                "achieved_epsilon",
+                "achieved_confidence",
+            ),
             description="one snapshot evaluation; drives RunMetrics counters",
         ),
         SpanSchema(
@@ -290,6 +301,21 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
             EVENT_POOL_INVALIDATE,
             required=("n_evicted", "reason"),
             description="a reachability change evicting pooled samples",
+        ),
+        EventSchema(
+            EVENT_BREAKER_CLOSE,
+            required=("origin", "neighbor"),
+            description="an open circuit breaker re-closing on probe success",
+        ),
+        EventSchema(
+            EVENT_ALERT_FIRING,
+            required=("rule", "kind", "signal", "value", "threshold"),
+            description="an alert rule entering the firing state",
+        ),
+        EventSchema(
+            EVENT_ALERT_RESOLVED,
+            required=("rule", "kind", "signal", "value", "threshold"),
+            description="a firing alert rule returning to resolved",
         ),
     )
 }

@@ -37,6 +37,8 @@ from typing import TYPE_CHECKING, Callable, Protocol
 from repro.obs.profile import WallClockProfiler
 from repro.obs.registry import DEFAULT_DURATION_BUCKETS, MetricsRegistry
 from repro.obs.schema import (
+    EVENT_ALERT_FIRING,
+    EVENT_ALERT_RESOLVED,
     EVENT_FAULT,
     SPAN_POOL_SERVE,
     SPAN_SNAPSHOT_QUERY,
@@ -55,7 +57,7 @@ NO_TIME = -1
 ClockSource = Callable[[], int]
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One instantaneous occurrence, optionally attached to a span."""
 
@@ -64,7 +66,7 @@ class TraceEvent:
     attrs: dict[str, object] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One interval of simulated time with attributes and child events.
 
@@ -86,7 +88,7 @@ class Span:
 
     def add_event(self, time: int, name: str, **attrs: object) -> None:
         """Append an instantaneous child event."""
-        self.events.append(TraceEvent(time=time, name=name, attrs=dict(attrs)))
+        self.events.append(TraceEvent(time=time, name=name, attrs=attrs))
 
     @property
     def duration(self) -> int:
@@ -156,9 +158,36 @@ class Tracer:
         """Wall-clock section timer (no-op without a profiler attached)."""
         return nullcontext()
 
+    def add_sink(self, sink: TraceSink) -> None:
+        """Attach a sink (dropped — a disabled tracer feeds nothing)."""
+        return None
+
+    @property
+    def has_clock(self) -> bool:
+        """True when untimed records get stamped (vacuously, here)."""
+        return True
+
+    def set_clock(self, clock: SimulationClock | ClockSource) -> None:
+        """Wire a simulated-time source (dropped — nothing to stamp)."""
+        return None
+
+    def now(self) -> int:
+        """Current simulated time from the wired clock (``-1`` without one).
+
+        Lets code without a time parameter of its own (deep sampling
+        internals) stamp side records — fault-log entries — with the same
+        time the tracer would stamp an untimed span.
+        """
+        return NO_TIME
+
 
 class NullTracer(Tracer):
     """The explicit no-op tracer (equivalent to the base class)."""
+
+    @property
+    def meta(self) -> dict[str, object]:
+        """Run metadata; a fresh throwaway dict, so writes are dropped."""
+        return {}
 
 
 #: Shared default tracer instance; instrumented constructors fall back to
@@ -207,6 +236,30 @@ class SinkTracer(Tracer):
         """Attach another sink (receives only spans finished afterwards)."""
         self._sinks.append(sink)
 
+    @property
+    def has_clock(self) -> bool:
+        """True once a simulated-time source is wired in."""
+        return self._clock is not None
+
+    def set_clock(self, clock: SimulationClock | ClockSource) -> None:
+        """Wire a simulated-time source after construction.
+
+        The component driving the run (e.g. a session's step loop) wires
+        its clock in so records whose call sites omit ``time=`` are
+        stamped with the current simulated time instead of ``-1``;
+        refuses to replace an existing clock — two drivers stamping one
+        tracer would interleave nondeterministically.
+        """
+        if self._clock is not None:
+            raise ValueError("tracer already has a clock")
+        if isinstance(clock, SimulationClock):
+            self._clock = lambda: clock.now
+        else:
+            self._clock = clock
+
+    def now(self) -> int:
+        return self._clock() if self._clock is not None else NO_TIME
+
     def _now(self, time: int | None) -> int:
         if time is not None:
             return time
@@ -230,7 +283,8 @@ class SinkTracer(Tracer):
                 if parent is not None and parent is not NULL_SPAN
                 else None
             ),
-            attrs=dict(attrs),
+            # the ** kwargs dict is freshly built per call — safe to own
+            attrs=attrs,
         )
         self._next_id += 1
         self.spans_started += 1
@@ -252,7 +306,7 @@ class SinkTracer(Tracer):
         span: Span | None = None,
         **attrs: object,
     ) -> None:
-        event = TraceEvent(time=self._now(time), name=name, attrs=dict(attrs))
+        event = TraceEvent(time=self._now(time), name=name, attrs=attrs)
         if span is not None and span is not NULL_SPAN:
             span.events.append(event)
             return
@@ -365,6 +419,9 @@ class RunMetricsSink:
     * ``pool_serve`` span → ``pool_hits`` += ``n_hit``;
       ``pool_misses`` += ``n_miss`` (shared-sample-pool reuse accounting).
     * span-less ``fault`` event → ``faults_injected`` +1.
+    * span-less ``alert_firing`` / ``alert_resolved`` event →
+      ``alerts_fired`` / ``alerts_resolved`` +1 (live alert engine
+      transitions; see :mod:`repro.obs.alerts`).
     """
 
     def __init__(self, metrics: "RunMetrics") -> None:
@@ -391,6 +448,10 @@ class RunMetricsSink:
     def on_event(self, event: TraceEvent) -> None:
         if event.name == EVENT_FAULT:
             self.metrics.faults_injected += 1
+        elif event.name == EVENT_ALERT_FIRING:
+            self.metrics.alerts_fired += 1
+        elif event.name == EVENT_ALERT_RESOLVED:
+            self.metrics.alerts_resolved += 1
 
 
 class RegistrySink:

@@ -58,7 +58,14 @@ from repro.obs.schema import (
     SPAN_SHARED_WALK_BATCH,
     SPAN_WALK,
 )
-from repro.obs.tracer import NULL_SPAN, NULL_TRACER, Span, Tracer, bridge_fault_log
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    TraceEvent,
+    Tracer,
+    bridge_fault_log,
+)
 from repro.protocol.messages import SampleReturn, WalkToken
 from repro.sampling.weights import WeightFunction
 from repro.sim.engine import Event, SimulationEngine
@@ -218,8 +225,13 @@ class ProtocolSampler:
         self._jittery = faults is not None and faults.config.latency_jitter > 0
         self._retry = retry
         #: walk/message telemetry; the default no-op tracer keeps the
-        #: per-hop handlers allocation-free when tracing is disabled
+        #: per-hop handlers allocation-free when tracing is disabled.
+        #: ``enabled`` and the clock are cached as plain attributes — the
+        #: per-message handlers read them and property dispatch is
+        #: measurable at that call rate
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._traced = self._tracer.enabled
+        self._clock = simulation.clock
         #: audit trail of everything that went wrong (shared with the
         #: fault plan's log when one is injected, so crash/loss events and
         #: protocol-observed failures interleave in one timeline)
@@ -620,16 +632,21 @@ class ProtocolSampler:
         fault event, never an exception.
         """
         self._record_traffic(attempt, kind)
-        if self._tracer.enabled:
+        if self._traced:
             state = self._states.get(walker_id)
             if state is not None:
                 # mirrors _record_traffic's ledger bucketing exactly, so
                 # trace attribution and the ledger cannot disagree
-                state.span.add_event(
-                    self._simulation.now,
-                    EVENT_MESSAGE,
-                    category="retry" if attempt > 1 else kind,
-                    to_node=to_node,
+                # (appended directly: this runs once per message)
+                state.span.events.append(
+                    TraceEvent(
+                        self._clock.now,
+                        EVENT_MESSAGE,
+                        {
+                            "category": "retry" if attempt > 1 else kind,
+                            "to_node": to_node,
+                        },
+                    )
                 )
         partitions = self._partitions
         if (
@@ -696,12 +713,14 @@ class ProtocolSampler:
         state = self._current_state(walker_id, attempt)
         if state is None:
             return  # superseded attempt or finished walk: drop the token
-        if self._tracer.enabled:
-            state.span.add_event(
-                self._simulation.now,
-                EVENT_HOP,
-                node=node,
-                steps_remaining=steps_remaining,
+        if self._traced:
+            # appended directly: this runs once per hop
+            state.span.events.append(
+                TraceEvent(
+                    self._clock.now,
+                    EVENT_HOP,
+                    {"node": node, "steps_remaining": steps_remaining},
+                )
             )
         if node not in self._graph:
             self.fault_log.record(
@@ -806,7 +825,7 @@ class ProtocolSampler:
             # an unannounced join or leave-rewiring): probe the neighbor
             # on demand — one request + one reply — instead of dying
             self.ledger.record_control(2, label="weight_probe")
-            if self._tracer.enabled:
+            if self._traced:
                 probing = self._states.get(walker_id)
                 if probing is not None:
                     probing.span.add_event(

@@ -428,7 +428,9 @@ class SamplingOperator:
             if self._faults is not None and self._faults.walk_lost(
                 steps + hops_home
             ):
-                self._faults.record(-1, "walk_lost", node=node)
+                self._faults.record(
+                    self._tracer.now(), "walk_lost", node=node
+                )
                 continue
             delivered.append(node)
         self.samples_drawn += len(delivered)
@@ -492,7 +494,7 @@ class SamplingOperator:
             if allow_partial:
                 if self._faults is not None:
                     self._faults.record(
-                        -1,
+                        self._tracer.now(),
                         "sample_shortfall",
                         detail=f"{len(samples)} of {n} after {max_retries} rounds",
                     )

@@ -93,6 +93,11 @@ class RunMetrics:
     pool_misses:
         Pool requests that fell through to fresh walks (the marginal
         ``n_required - n_pooled`` draws).
+    alerts_fired:
+        Alert-rule transitions into the firing state (live guarantee
+        auditing; see :mod:`repro.obs.alerts`).
+    alerts_resolved:
+        Firing alert rules that transitioned back to resolved.
     """
 
     snapshot_queries: int = 0
@@ -105,6 +110,8 @@ class RunMetrics:
     degraded_estimates: int = 0
     pool_hits: int = 0
     pool_misses: int = 0
+    alerts_fired: int = 0
+    alerts_resolved: int = 0
     _series: dict[str, MetricSeries] = field(default_factory=dict)
 
     def series(self, name: str) -> MetricSeries:
@@ -140,6 +147,8 @@ class RunMetrics:
         self.degraded_estimates += other.degraded_estimates
         self.pool_hits += other.pool_hits
         self.pool_misses += other.pool_misses
+        self.alerts_fired += other.alerts_fired
+        self.alerts_resolved += other.alerts_resolved
         for name, series in other._series.items():
             if len(series) == 0:
                 continue

@@ -4,18 +4,26 @@ import pytest
 
 from repro.obs.analysis import (
     COUNTER_FIELDS,
+    alert_timeline,
     counter_dict,
     degraded_timeline,
     fault_timeline,
     folded_stacks,
     message_attribution,
     run_metrics_from_trace,
+    shared_walk_attribution,
     trigger_breakdown,
     verify_trace_consistency,
     walk_latency_histogram,
     walk_outcomes,
 )
-from repro.obs.tracer import RecordingTracer, RunMetricsSink
+from repro.obs.tracer import (
+    RecordingTracer,
+    RunMetricsSink,
+    Span,
+    Trace,
+    TraceEvent,
+)
 from repro.sim.metrics import RunMetrics
 
 
@@ -72,6 +80,8 @@ class TestCounterReplay:
             "degraded_estimates": 1,
             "pool_hits": 0,
             "pool_misses": 0,
+            "alerts_fired": 0,
+            "alerts_resolved": 0,
         }
 
     def test_mismatch_is_reported_per_counter(self):
@@ -173,3 +183,59 @@ class TestFoldedStacks:
     def test_unknown_weight_raises(self):
         with pytest.raises(ValueError):
             folded_stacks(RecordingTracer().trace(), weight="bytes")
+
+
+class TestDegenerateTraces:
+    """Truncated and empty traces must analyze cleanly, never crash."""
+
+    def test_empty_trace_replays_to_zero_counters(self):
+        replayed = run_metrics_from_trace(Trace())
+        assert all(v == 0 for v in counter_dict(replayed).values())
+        assert verify_trace_consistency(Trace(), RunMetrics()) == []
+
+    def test_empty_trace_analyses_are_empty(self):
+        trace = Trace()
+        assert all(v == 0 for v in message_attribution(trace).values())
+        assert shared_walk_attribution(trace) == {}
+        assert walk_outcomes(trace) == {}
+        assert fault_timeline(trace) == []
+        assert alert_timeline(trace) == []
+        assert degraded_timeline(trace) == []
+        assert trigger_breakdown(trace) == {}
+        assert folded_stacks(trace) == {}
+        assert walk_latency_histogram(trace).count == 0
+
+    def test_truncated_open_walk_span(self):
+        # a run cut off mid-walk leaves an open span with no outcome
+        trace = Trace(spans=[Span(span_id=1, name="walk", start=3)])
+        replayed = run_metrics_from_trace(trace)
+        assert replayed.walks_failed == 0
+        assert replayed.walks_retried == 0
+        assert walk_outcomes(trace) == {"open": 1}
+        assert walk_latency_histogram(trace).count == 0
+        assert folded_stacks(trace) == {}  # open spans have no duration
+
+    def test_spans_and_events_missing_attrs(self):
+        trace = Trace(
+            spans=[Span(span_id=1, name="snapshot_query", start=2, end=2)],
+            events=[TraceEvent(5, "fault")],
+        )
+        replayed = run_metrics_from_trace(trace)
+        assert replayed.snapshot_queries == 1
+        assert replayed.samples_total == 0
+        assert replayed.degraded_estimates == 0
+        assert replayed.faults_injected == 1
+        assert degraded_timeline(trace) == []
+        assert trigger_breakdown(trace) == {"unknown": 1}
+        assert [e.time for e in fault_timeline(trace)] == [5]
+
+    def test_folded_stacks_survive_a_dangling_parent(self):
+        # the parent span was cut off (never retained); the child's
+        # stack stops at the deepest span still present
+        trace = Trace(
+            spans=[
+                Span(span_id=9, name="walk", start=0, parent_id=4, end=6)
+            ]
+        )
+        assert folded_stacks(trace) == {"walk": 6}
+        assert folded_stacks(trace, weight="count") == {"walk": 1}

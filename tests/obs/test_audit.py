@@ -1,0 +1,190 @@
+"""Tests for the per-query guarantee auditor (repro.obs.audit)."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import QueryError
+from repro.obs.audit import (
+    META_PROMISES,
+    GuaranteeAuditor,
+    GuaranteePromise,
+    auditor_from_trace,
+)
+from repro.obs.schema import SPAN_SNAPSHOT_QUERY, SPAN_WALK
+from repro.obs.tracer import Span, Trace
+
+
+def _estimate(degraded=False, achieved_epsilon=None, achieved_confidence=None):
+    return SimpleNamespace(
+        degraded=degraded,
+        achieved_epsilon=achieved_epsilon,
+        achieved_confidence=achieved_confidence,
+    )
+
+
+class TestPromise:
+    def test_rejects_confidence_outside_unit_interval(self):
+        for confidence in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(QueryError):
+                GuaranteePromise("q", 0.5, confidence)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(QueryError):
+            GuaranteePromise("q", 0.0, 0.9)
+
+    def test_error_budget(self):
+        assert GuaranteePromise("q", 0.5, 0.9).error_budget == pytest.approx(0.1)
+
+
+class TestRegistration:
+    def test_register_is_idempotent_for_equal_promises(self):
+        auditor = GuaranteeAuditor()
+        auditor.register("q", 0.5, 0.9)
+        auditor.register("q", 0.5, 0.9)
+        assert auditor.query_ids() == ["q"]
+
+    def test_register_rejects_conflicting_promise(self):
+        auditor = GuaranteeAuditor()
+        auditor.register("q", 0.5, 0.9)
+        with pytest.raises(QueryError):
+            auditor.register("q", 0.4, 0.9)
+
+    def test_observe_unregistered_query_raises(self):
+        with pytest.raises(QueryError):
+            GuaranteeAuditor().observe("ghost", 0, _estimate())
+
+    def test_rejects_bad_recent_window(self):
+        with pytest.raises(QueryError):
+            GuaranteeAuditor(recent_window=0)
+
+
+class TestViolations:
+    def test_clean_estimate_is_not_a_violation(self):
+        auditor = GuaranteeAuditor()
+        auditor.register("q", 0.5, 0.9)
+        assert not auditor.violates("q", _estimate())
+
+    def test_degraded_is_always_a_violation(self):
+        auditor = GuaranteeAuditor()
+        auditor.register("q", 0.5, 0.9)
+        assert auditor.violates("q", _estimate(degraded=True))
+
+    def test_wide_achieved_epsilon_violates(self):
+        auditor = GuaranteeAuditor()
+        auditor.register("q", 0.5, 0.9)
+        assert auditor.violates("q", _estimate(achieved_epsilon=0.7))
+        assert not auditor.violates("q", _estimate(achieved_epsilon=0.4))
+
+    def test_low_achieved_confidence_violates(self):
+        auditor = GuaranteeAuditor()
+        auditor.register("q", 0.5, 0.9)
+        assert auditor.violates("q", _estimate(achieved_confidence=0.8))
+        assert not auditor.violates("q", _estimate(achieved_confidence=0.95))
+
+
+class TestBurnRate:
+    def test_burn_rate_is_budget_normalized(self):
+        auditor = GuaranteeAuditor(recent_window=4)
+        auditor.register("q", 0.5, 0.9)  # budget 0.1
+        auditor.observe("q", 0, _estimate(degraded=True))
+        auditor.observe("q", 1, _estimate())
+        # 1 violation / 2 recent = 0.5 fraction over a 0.1 budget
+        assert auditor.burn_rate("q") == pytest.approx(5.0)
+
+    def test_bad_snapshots_age_out_of_the_recent_window(self):
+        auditor = GuaranteeAuditor(recent_window=2)
+        auditor.register("q", 0.5, 0.9)
+        auditor.observe("q", 0, _estimate(degraded=True))
+        auditor.observe("q", 1, _estimate())
+        auditor.observe("q", 2, _estimate())
+        assert auditor.burn_rate("q") == 0.0  # the violation aged out
+        verdict = auditor.verdict("q")
+        assert verdict.violations == 1  # lifetime count remains
+        assert verdict.ok
+
+    def test_verdict_fields(self):
+        auditor = GuaranteeAuditor(recent_window=4)
+        auditor.register("q", 0.5, 0.9)
+        auditor.observe("q", 0, _estimate(degraded=True))
+        verdict = auditor.verdict("q")
+        assert verdict.query_id == "q"
+        assert verdict.snapshots == 1
+        assert verdict.violations == 1
+        assert verdict.violation_fraction == 1.0
+        assert not verdict.ok
+
+    def test_signals_take_worst_burn_across_queries(self):
+        auditor = GuaranteeAuditor(recent_window=4)
+        auditor.register("good", 0.5, 0.9)
+        auditor.register("bad", 0.5, 0.9)
+        auditor.observe("good", 0, _estimate())
+        auditor.observe("bad", 0, _estimate(degraded=True))
+        signals = auditor.signals()
+        assert signals["audit_burn_rate"] == pytest.approx(10.0)
+        assert signals["audit_violation_fraction"] == pytest.approx(0.5)
+
+    def test_signals_empty_auditor(self):
+        assert GuaranteeAuditor().signals() == {
+            "audit_burn_rate": 0.0,
+            "audit_violation_fraction": 0.0,
+        }
+
+
+class TestSpanObservation:
+    def _span(self, name=SPAN_SNAPSHOT_QUERY, attrs=None, end=5):
+        return Span(span_id=1, name=name, start=4, attrs=attrs or {}, end=end)
+
+    def test_ignores_non_snapshot_spans(self):
+        auditor = GuaranteeAuditor()
+        auditor.register("q", 0.5, 0.9)
+        assert auditor.observe_span(self._span(name=SPAN_WALK)) is None
+
+    def test_ignores_unregistered_queries(self):
+        auditor = GuaranteeAuditor()
+        auditor.register("q", 0.5, 0.9)
+        span = self._span(attrs={"query": "other", "degraded": True})
+        assert auditor.observe_span(span) is None
+        assert auditor.verdict("q").snapshots == 0
+
+    def test_observes_registered_snapshot_span(self):
+        auditor = GuaranteeAuditor()
+        auditor.register("q", 0.5, 0.9)
+        span = self._span(attrs={"query": "q", "degraded": True})
+        assert auditor.observe_span(span) is True
+        assert auditor.verdict("q").violations == 1
+
+    def test_reads_achieved_restatements_from_attrs(self):
+        auditor = GuaranteeAuditor()
+        auditor.register("q", 0.5, 0.9)
+        span = self._span(
+            attrs={"query": "q", "degraded": False, "achieved_epsilon": 0.9}
+        )
+        assert auditor.observe_span(span) is True
+
+
+class TestAuditorFromTrace:
+    def test_returns_none_without_promises(self):
+        assert auditor_from_trace(Trace()) is None
+        assert auditor_from_trace(Trace(meta={META_PROMISES: {}})) is None
+
+    def test_rebuilds_registered_promises(self):
+        trace = Trace(
+            meta={
+                META_PROMISES: {
+                    "q1": {"epsilon": 0.5, "confidence": 0.9},
+                    "q0": {"epsilon": 0.4, "confidence": 0.8},
+                }
+            }
+        )
+        auditor = auditor_from_trace(trace, recent_window=8)
+        assert auditor is not None
+        assert auditor.query_ids() == ["q0", "q1"]
+        assert auditor.recent_window == 8
+
+    def test_rejects_malformed_promise(self):
+        trace = Trace(meta={META_PROMISES: {"q": [0.5, 0.9]}})
+        with pytest.raises(QueryError):
+            auditor_from_trace(trace)

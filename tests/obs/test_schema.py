@@ -60,6 +60,9 @@ V1_EVENT_NAMES = {
     "EVENT_BREAKER_TRIP": "breaker_trip",
     "EVENT_BREAKER_PROBE": "breaker_probe",
     "EVENT_POOL_INVALIDATE": "pool_invalidate",
+    "EVENT_BREAKER_CLOSE": "breaker_close",
+    "EVENT_ALERT_FIRING": "alert_firing",
+    "EVENT_ALERT_RESOLVED": "alert_resolved",
 }
 
 

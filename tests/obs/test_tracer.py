@@ -1,5 +1,7 @@
 """Tests for the span/event tracer core (repro.obs.tracer)."""
 
+import pytest
+
 from repro.network.faults import FaultLog
 from repro.obs.tracer import (
     NO_TIME,
@@ -40,6 +42,17 @@ class TestNullTracer:
     def test_profile_is_a_null_context(self):
         with NULL_TRACER.profile("section"):
             pass
+
+    def test_session_protocol_is_all_noops(self):
+        # a NullTracer must be a drop-in for a session's tracer: sinks
+        # and clocks are dropped, and meta writes land in a throwaway
+        tracer = NullTracer()
+        tracer.add_sink(object())
+        assert tracer.has_clock is True  # nothing to stamp, vacuously
+        tracer.set_clock(lambda: 5)
+        assert tracer.now() == NO_TIME
+        tracer.meta["promises"] = {"q0": {}}
+        assert tracer.meta == {}
 
 
 class TestSinkTracer:
@@ -102,6 +115,27 @@ class TestSinkTracer:
         tracer = SinkTracer(clock=lambda: 99)
         span = tracer.span("walk", time=1)
         assert span.start == 1
+
+    def test_set_clock_wires_a_late_time_source(self):
+        tracer = SinkTracer()
+        assert tracer.has_clock is False
+        assert tracer.now() == NO_TIME
+        tracer.set_clock(lambda: 4)
+        assert tracer.has_clock is True
+        assert tracer.now() == 4
+        assert tracer.span("walk").start == 4
+
+    def test_set_clock_accepts_a_simulation_clock(self):
+        clock = SimulationClock(start=3)
+        tracer = SinkTracer()
+        tracer.set_clock(clock)
+        clock.tick(2)
+        assert tracer.now() == 5
+
+    def test_set_clock_refuses_to_replace_an_existing_clock(self):
+        tracer = SinkTracer(clock=lambda: 1)
+        with pytest.raises(ValueError, match="already has a clock"):
+            tracer.set_clock(lambda: 2)
 
     def test_span_attached_event_stays_off_the_sinks(self):
         loose = []

@@ -223,6 +223,104 @@ class TestTraceSchemaConformance:
         assert result.findings == []
 
 
+class TestFastAppendExtraction:
+    """The inlined hot-path emitter shape stays schema-checked.
+
+    ``<span>.events.append(TraceEvent(time, NAME, {...}))`` is the
+    allocation-light equivalent of ``span.add_event(...)``; the
+    extractor must summarize it as an ``add_event`` fact so DGL009 sees
+    the same attribute keys it would on the method form.
+    """
+
+    PATH = "src/repro/core/snippet.py"
+
+    def test_fact_shape_matches_add_event(self) -> None:
+        from tools.digest_analyzer.extract import extract_file_facts
+
+        source = textwrap.dedent(
+            """\
+            from repro.obs.schema import EVENT_HOP
+            from repro.obs.tracer import TraceEvent
+
+            def run(span, t, node):
+                span.events.append(
+                    TraceEvent(t, EVENT_HOP, {"node": node, "bogus_key": 1})
+                )
+            """
+        )
+        facts, _findings = extract_file_facts(source, self.PATH)
+        (fact,) = facts.trace_calls
+        assert fact.kind == "add_event"
+        assert fact.name_ref == "repro.obs.schema.EVENT_HOP"
+        assert fact.name_literal is None
+        assert fact.attr_keys == ["node", "bogus_key"]
+        assert fact.span_var == "span"
+
+    def test_fast_append_is_schema_checked(self) -> None:
+        result = analyze(
+            {
+                self.PATH: """\
+                from repro.obs.schema import EVENT_HOP, SPAN_WALK
+                from repro.obs.tracer import TraceEvent
+
+                def run(tracer, t, node):
+                    span = tracer.span(
+                        SPAN_WALK, time=t, walker_id=1, origin=0, walk_length=4
+                    )
+                    span.events.append(
+                        TraceEvent(t, EVENT_HOP, {"node": node, "bogus": 1})
+                    )
+                    tracer.end(span, time=t + 1, outcome="completed", attempts=1)
+                """
+            },
+            select={"DGL009"},
+        )
+        messages = [f.message for f in result.findings]
+        assert any("steps_remaining" in m for m in messages)
+        assert any("bogus" in m for m in messages)
+
+    def test_conforming_fast_append_is_clean(self) -> None:
+        assert (
+            codes(
+                {
+                    self.PATH: """\
+                    from repro.obs.schema import EVENT_HOP, SPAN_WALK
+                    from repro.obs.tracer import TraceEvent
+
+                    def run(tracer, t, node, left):
+                        span = tracer.span(
+                            SPAN_WALK, time=t, walker_id=1, origin=0, walk_length=4
+                        )
+                        span.events.append(
+                            TraceEvent(
+                                t, EVENT_HOP, {"node": node, "steps_remaining": left}
+                            )
+                        )
+                        tracer.end(
+                            span, time=t + 1, outcome="completed", attempts=1
+                        )
+                    """
+                },
+                select={"DGL009"},
+            )
+            == []
+        )
+
+    def test_non_span_receiver_is_not_matched(self) -> None:
+        from tools.digest_analyzer.extract import extract_file_facts
+
+        source = textwrap.dedent(
+            """\
+            from repro.obs.tracer import TraceEvent
+
+            def run(queue, t):
+                queue.events.append(TraceEvent(t, "hop", {}))
+            """
+        )
+        facts, _findings = extract_file_facts(source, self.PATH)
+        assert facts.trace_calls == []
+
+
 # ----------------------------------------------------------------------
 # DGL010 -- hard-coded trace names in consumers
 # ----------------------------------------------------------------------

@@ -407,6 +407,11 @@ class _FunctionExtractor:
             kind = "end"
         elif func.attr == "set" and _SPAN_HINT in receiver_last:
             kind = "set"
+        elif func.attr == "append" and receiver_last == "events":
+            # the hot-path fast form of add_event:
+            #   <span>.events.append(TraceEvent(time, NAME, {...}))
+            # recognized so inlined emitters stay schema-checked
+            return self._build_fast_append(call, receiver)
         if kind is None:
             return None
         fact = TraceCallFact(
@@ -443,6 +448,53 @@ class _FunctionExtractor:
             fact.span_var = _render(call.args[0])
         elif kind in ("add_event", "set"):
             fact.span_var = receiver
+        return fact
+
+    def _build_fast_append(
+        self, call: ast.Call, receiver: str
+    ) -> TraceCallFact | None:
+        """``<span>.events.append(TraceEvent(time, NAME, {...}))``.
+
+        Only the fully-literal shape is summarized (a dict built
+        elsewhere is opaque to static checking); the owner of the
+        ``.events`` list must look like a span variable, mirroring the
+        ``add_event`` receiver convention.
+        """
+        owner = receiver.rsplit(".", 1)[0] if "." in receiver else ""
+        owner_last = owner.rsplit(".", 1)[-1].split("[", 1)[0]
+        if _SPAN_HINT not in owner_last or len(call.args) != 1:
+            return None
+        inner = call.args[0]
+        if not isinstance(inner, ast.Call):
+            return None
+        ctor = inner.func
+        ctor_name = (
+            ctor.id
+            if isinstance(ctor, ast.Name)
+            else ctor.attr if isinstance(ctor, ast.Attribute) else None
+        )
+        if ctor_name != "TraceEvent" or len(inner.args) < 2:
+            return None
+        fact = TraceCallFact(
+            kind="add_event",
+            lineno=call.lineno,
+            col=call.col_offset + 1,
+            function=self.fact.qualname,
+            span_var=owner,
+        )
+        name_arg = inner.args[1]
+        if isinstance(name_arg, ast.Constant) and isinstance(
+            name_arg.value, str
+        ):
+            fact.name_literal = name_arg.value
+        else:
+            fact.name_ref = _resolve(name_arg, self.imports)
+        if len(inner.args) >= 3 and isinstance(inner.args[2], ast.Dict):
+            fact.attr_keys = [
+                key.value
+                for key in inner.args[2].keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ]
         return fact
 
     # -- comparisons (DGL010 raw material) -----------------------------
