@@ -162,6 +162,8 @@ class _QueryScopedSink:
     ignored here (the session-level metrics carry them).
     """
 
+    needs_span_events = False  # filters on span attrs, forwards to metrics
+
     def __init__(self, query_id: str, metrics: RunMetrics) -> None:
         self._query_id = query_id
         self._inner = RunMetricsSink(metrics)

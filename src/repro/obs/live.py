@@ -197,6 +197,12 @@ class LivePipeline:
     window at close time (the guarantee auditor does).
     """
 
+    #: message accounting needs only per-category counts at span end;
+    #: when span events are absent (a non-recording tracer skipped
+    #: constructing them) the counts arrive as the walk span's
+    #: ``messages_by_category`` attribute instead
+    needs_span_events = False
+
     def __init__(self, config: WindowConfig | None = None) -> None:
         self.config = config if config is not None else WindowConfig()
         self.windows: deque[WindowStats] = deque(maxlen=self.config.history)
@@ -318,16 +324,27 @@ class LivePipeline:
             window.walk_latency_max = max(window.walk_latency_max, span.duration)
             if span.attrs.get("outcome") == "failed":
                 window.walks_failed += 1
-            for event in span.events:
-                if event.name == EVENT_MESSAGE:
-                    category = str(event.attrs.get("category", "?"))
-                    window.messages[category] = (
-                        window.messages.get(category, 0) + 1
-                    )
-                elif event.name == EVENT_PROBE:
-                    window.messages["probe"] = window.messages.get(
-                        "probe", 0
-                    ) + _as_int(event.attrs.get("messages"), default=2)
+            if span.events:
+                for event in span.events:
+                    if event.name == EVENT_MESSAGE:
+                        category = str(event.attrs.get("category", "?"))
+                        window.messages[category] = (
+                            window.messages.get(category, 0) + 1
+                        )
+                    elif event.name == EVENT_PROBE:
+                        window.messages["probe"] = window.messages.get(
+                            "probe", 0
+                        ) + _as_int(event.attrs.get("messages"), default=2)
+            else:
+                # non-recording fast path: the producer skipped event
+                # construction and attached aggregate counts instead
+                counts = span.attrs.get("messages_by_category")
+                if isinstance(counts, dict):
+                    for category, count in counts.items():
+                        window.messages[str(category)] = (
+                            window.messages.get(str(category), 0)
+                            + _as_int(count)
+                        )
         elif span.name == SPAN_SNAPSHOT_QUERY:
             window.snapshots += 1
             if bool(span.attrs.get("degraded", False)):

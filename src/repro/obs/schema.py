@@ -149,7 +149,15 @@ SPAN_SCHEMAS: dict[str, SpanSchema] = {
         SpanSchema(
             SPAN_WALK,
             required=("walker_id", "origin", "walk_length", "outcome", "attempts"),
-            optional=("consumers", "n_consumers", "sampled_node", "reason"),
+            optional=(
+                "consumers",
+                "n_consumers",
+                "sampled_node",
+                "reason",
+                # per-category message counts, attached only when a
+                # non-recording tracer skipped per-event construction
+                "messages_by_category",
+            ),
             description="one supervised walk; outcome is completed/failed",
         ),
         SpanSchema(

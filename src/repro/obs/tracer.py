@@ -111,7 +111,18 @@ NULL_SPAN = _NullSpan(span_id=-1, name="null", start=NO_TIME)
 
 
 class TraceSink(Protocol):
-    """Receives finished spans and span-less events from a tracer."""
+    """Receives finished spans and span-less events from a tracer.
+
+    ``needs_span_events`` declares whether the sink reads the per-span
+    ``events`` list. Sinks that derive everything from span *attributes*
+    (metrics, windowed analytics) set it ``False``; producers may then
+    skip per-hop/per-message event construction entirely on their hot
+    paths (see :attr:`SinkTracer.is_recording`). Sinks that omit the
+    attribute are treated as ``True`` — the conservative default.
+    """
+
+    #: whether this sink reads ``span.events`` (default: assume it does)
+    needs_span_events: bool
 
     def on_span_end(self, span: Span) -> None:
         """Called exactly once per span, when it is closed."""
@@ -122,8 +133,19 @@ class TraceSink(Protocol):
         ...
 
 
+def _sink_needs_span_events(sink: TraceSink) -> bool:
+    return bool(getattr(sink, "needs_span_events", True))
+
+
 class Tracer:
     """Tracer interface; the base class itself behaves as a no-op."""
+
+    #: True when some attached sink retains per-span event lists, i.e.
+    #: producers must construct every span event. False lets hot paths
+    #: (per-hop/per-message hooks) skip event construction and surface
+    #: aggregate span attributes instead. A plain attribute, not a
+    #: property — the hooks read it at message rate.
+    is_recording: bool = False
 
     @property
     def enabled(self) -> bool:
@@ -213,6 +235,9 @@ class SinkTracer(Tracer):
         meta: dict[str, object] | None = None,
     ) -> None:
         self._sinks: list[TraceSink] = list(sinks) if sinks else []
+        self.is_recording = any(
+            _sink_needs_span_events(sink) for sink in self._sinks
+        )
         self._clock: ClockSource | None
         if isinstance(clock, SimulationClock):
             self._clock = lambda: clock.now
@@ -235,6 +260,8 @@ class SinkTracer(Tracer):
     def add_sink(self, sink: TraceSink) -> None:
         """Attach another sink (receives only spans finished afterwards)."""
         self._sinks.append(sink)
+        if _sink_needs_span_events(sink):
+            self.is_recording = True
 
     @property
     def has_clock(self) -> bool:
@@ -354,6 +381,8 @@ class Trace:
 class _RecorderSink:
     """Internal sink retaining everything for :class:`RecordingTracer`."""
 
+    needs_span_events = True  # exports must carry every span event
+
     def __init__(self) -> None:
         self.spans: list[Span] = []
         self.events: list[TraceEvent] = []
@@ -424,6 +453,10 @@ class RunMetricsSink:
       transitions; see :mod:`repro.obs.alerts`).
     """
 
+    #: everything above reads span *attributes* only — producers may
+    #: skip per-event construction when this is the only kind of sink
+    needs_span_events = False
+
     def __init__(self, metrics: "RunMetrics") -> None:
         self.metrics = metrics
 
@@ -456,6 +489,8 @@ class RunMetricsSink:
 
 class RegistrySink:
     """Maintains live span/event counters and sim-duration histograms."""
+
+    needs_span_events = True  # counts every span-attached event by name
 
     def __init__(
         self,

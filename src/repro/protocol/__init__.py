@@ -25,13 +25,37 @@ The runtime also carries the failure model: inject a
 a :class:`RetryPolicy` for origin-side walk supervision (timeouts with
 backoff, bounded retries). See :mod:`repro.experiments.fault_tolerance`.
 
+The package is a layered stack (see DESIGN.md §5): a
+:class:`~repro.protocol.transport.Transport` owns delivery and the
+failure model, a :class:`~repro.protocol.lifecycle.WalkLifecycle` state
+machine owns supervision, a :class:`~repro.protocol.routing.RoutingPolicy`
+owns first-hop choice, :class:`~repro.protocol.walkers.WalkExecutor` owns
+the per-node handlers, and :class:`ProtocolSampler` is the thin
+orchestrator tying them together.
+
 See :mod:`repro.experiments.protocol_validation` for the measurements.
 """
 
+from repro.protocol.batching import (
+    WalkBatchPlan,
+    WalkDemand,
+    coalesce_demands,
+)
+from repro.protocol.lifecycle import (
+    TRANSITIONS,
+    WalkLifecycle,
+    WalkOutcome,
+    WalkRecord,
+)
 from repro.protocol.messages import (
     SampleReturn,
     WalkToken,
     WeightAdvertisement,
+)
+from repro.protocol.routing import (
+    HealthAwareRouting,
+    RoutingPolicy,
+    UniformRouting,
 )
 from repro.protocol.runtime import (
     ProtocolConfig,
@@ -39,13 +63,26 @@ from repro.protocol.runtime import (
     RetryPolicy,
     WalkStats,
 )
+from repro.protocol.transport import SimTransport, Transport
 
 __all__ = [
+    "HealthAwareRouting",
     "ProtocolConfig",
     "ProtocolSampler",
     "RetryPolicy",
+    "RoutingPolicy",
     "SampleReturn",
+    "SimTransport",
+    "TRANSITIONS",
+    "Transport",
+    "UniformRouting",
+    "WalkBatchPlan",
+    "WalkDemand",
+    "WalkLifecycle",
+    "WalkOutcome",
+    "WalkRecord",
     "WalkStats",
     "WalkToken",
     "WeightAdvertisement",
+    "coalesce_demands",
 ]

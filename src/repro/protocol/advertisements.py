@@ -1,0 +1,111 @@
+"""Cached-variant weight advertisements: flood, repair, on-demand probe.
+
+The cached protocol variant lets a sender evaluate Metropolis acceptance
+locally, which only works if it holds its neighbors' current weights.
+:class:`AdvertisementCache` owns that state and its maintenance traffic:
+the initial flood (every node advertises to every neighbor), re-
+advertisement on weight change, and cache repair after churn rewires the
+overlay. Every advertisement is paid control traffic on the ledger —
+the advertisement volume *is* the price of the cached variant, so the
+accounting lives next to the cache it maintains.
+
+The bounce variant is cache-free and never constructs one of these; its
+correctness cannot depend on stale state by design.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.network.graph import OverlayGraph
+from repro.network.messaging import MessageLedger
+from repro.obs.schema import EVENT_ADVERTISEMENT
+from repro.obs.tracer import Tracer
+from repro.protocol.transport import Transport
+from repro.sampling.weights import WeightFunction
+
+
+class AdvertisementCache:
+    """Per-node caches of neighbor weights, kept warm by advertisements."""
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        weight: WeightFunction,
+        ledger: MessageLedger,
+        tracer: Tracer,
+        transport: Transport,
+    ) -> None:
+        self._graph = graph
+        self._weight = weight
+        self._ledger = ledger
+        self._tracer = tracer
+        self._transport = transport
+        #: ``weights[node][neighbor]`` = the weight ``node`` has cached
+        #: for ``neighbor``
+        self.weights: dict[int, dict[int, float]] = {}
+        self.sent = 0
+
+    def flood(self) -> None:
+        """Every node advertises its weight to every neighbor (setup)."""
+        for node in self._graph.nodes():
+            self.weights[node] = {}
+        for node in self._graph.nodes():
+            weight = self._weight(node)
+            for neighbor in self._graph.neighbors(node):
+                self._deliver(neighbor, node, weight)
+
+    def _deliver(self, to_node: int, source: int, weight: float) -> None:
+        self._ledger.record_control(1, label="weight_advertisement")
+        self.sent += 1
+        if self._tracer.enabled:
+            self._tracer.event(
+                EVENT_ADVERTISEMENT,
+                time=self._transport.now,
+                to_node=to_node,
+                source=source,
+            )
+        self.weights.setdefault(to_node, {})[source] = weight
+
+    def notify_weight_change(self, node: int) -> None:
+        """``node``'s weight changed: re-advertise it to its neighbors."""
+        weight = self._weight(node)
+        for neighbor in self._graph.neighbors(node):
+            self._deliver(neighbor, node, weight)
+
+    def handle_topology_change(
+        self,
+        joined: Iterable[int] = (),
+        left: Iterable[int] = (),
+    ) -> None:
+        """Refresh advertisements after overlay changes.
+
+        Purges cache entries sourced from departed nodes, then repairs
+        every missing neighbor entry (joins, and the new survivor-to-
+        survivor links that leave-rewiring creates) with a paid
+        advertisement.
+        """
+        gone = set(left)
+        if gone:
+            for node in gone:
+                self.weights.pop(node, None)
+            for cache in self.weights.values():
+                for node in gone:
+                    cache.pop(node, None)
+        self.repair()
+
+    def repair(self) -> None:
+        """Advertise across every live edge missing a cached weight."""
+        for node in self._graph.nodes():
+            cache = self.weights.setdefault(node, {})
+            for neighbor in self._graph.neighbors(node):
+                if neighbor not in cache:
+                    self._deliver(node, neighbor, self._weight(neighbor))
+
+    def lookup(self, node: int, target: int) -> float | None:
+        """The weight ``node`` has cached for ``target``, if any."""
+        return self.weights.get(node, {}).get(target)
+
+    def store(self, node: int, target: int, weight: float) -> None:
+        """Fill one cache entry (after an on-demand probe)."""
+        self.weights.setdefault(node, {})[target] = weight

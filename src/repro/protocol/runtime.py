@@ -1,43 +1,41 @@
-"""The protocol runtime: node handlers + message delivery.
+"""The protocol orchestrator: wiring lifecycle × routing × transport.
 
 Executes Metropolis sampling walks as scheduled message deliveries on a
-:class:`~repro.sim.engine.SimulationEngine`. Each delivery runs the
-receiving node's handler, which may send further messages; a walk
-terminates by routing a :class:`SampleReturn` hop-by-hop back to its
-origin. All messages are tallied on a :class:`MessageLedger` with the
-same categories the abstract model uses, so costs are directly
-comparable.
+:class:`~repro.sim.engine.SimulationEngine`. This module is deliberately
+thin: it validates configuration, wires the layered stack, and exposes
+the run-level API. The layers do the work:
 
-Failure model
--------------
+* :mod:`repro.protocol.transport` — unreliable delivery: hop latency,
+  jitter, message loss, partitions, crashed receivers
+  (:class:`~repro.protocol.transport.SimTransport` over the simulator);
+* :mod:`repro.protocol.lifecycle` — origin-side supervision as an
+  explicit state machine (PENDING → IN_FLIGHT → RETRYING → DONE/FAILED)
+  owning timeouts, backoff, retries, and the walk-span hooks;
+* :mod:`repro.protocol.routing` — pluggable first-hop choice
+  (:class:`~repro.protocol.routing.UniformRouting`, or breaker-aware
+  :class:`~repro.protocol.routing.HealthAwareRouting` when a
+  :class:`~repro.network.health.HealthConfig` is supplied);
+* :mod:`repro.protocol.walkers` — the per-node handlers (both protocol
+  variants, acceptance, hop-by-hop return routing, ledger accounting);
+* :mod:`repro.protocol.advertisements` — cached-variant weight caches
+  and their maintenance traffic;
+* :mod:`repro.protocol.batching` — coalesced multi-query walk batches
+  (:meth:`ProtocolSampler.run_walk_batch` is lifecycle-supervised like
+  any other walk, plus per-consumer trace attribution).
+
 The overlay is *unreliable*: an optional :class:`FaultPlan` injects
 per-hop message loss, delivery-latency jitter, and (via
 :class:`~repro.network.faults.CrashProcess`, scheduled by the caller)
-mid-walk node crashes. The runtime degrades instead of crashing:
-
-* handlers never let an exception escape a scheduled delivery — every
-  failure (lost message, crashed receiver, broken return path, isolated
-  node) becomes a recorded :class:`~repro.network.faults.FaultEvent` on
-  ``fault_log`` (digest-lint DGL006 enforces this statically);
-* an origin-side supervisor arms a timeout per walk attempt
-  (:class:`RetryPolicy`); attempts that die are retried with backoff, and
-  all retry traffic lands in the ledger's ``retries`` category so
-  first-attempt cost figures stay comparable;
-* return routing re-resolves the shortest path toward the origin at every
-  hop against the live topology, so a crash along the precomputed path
-  reroutes instead of raising.
-
-Locality discipline: handlers may read only (a) the receiving node's own
-weight/degree/neighbor list and (b) the message contents. The one
-exception is shortest-path return routing, which uses origin-rooted hop
-distances as a stand-in for the routing state a real deployment would
-piggyback on the walk.
+mid-walk node crashes. The stack degrades instead of crashing — every
+failure becomes a recorded :class:`~repro.network.faults.FaultEvent`,
+walks are retried under the :class:`RetryPolicy`, and all messages land
+in a :class:`MessageLedger` with the same categories the abstract cost
+model uses, so costs stay directly comparable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Iterable
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -46,32 +44,36 @@ from repro.network.churn import ChurnEvent
 from repro.network.faults import FaultLog, FaultPlan
 from repro.network.graph import OverlayGraph
 from repro.network.health import HealthConfig, HealthMonitor
-from repro.network.partitions import PartitionPlan
 from repro.network.messaging import MessageLedger
-from repro.obs.schema import (
-    EVENT_ADVERTISEMENT,
-    EVENT_HOP,
-    EVENT_MESSAGE,
-    EVENT_PROBE,
-    EVENT_RETRY,
-    EVENT_TIMEOUT,
-    SPAN_SHARED_WALK_BATCH,
-    SPAN_WALK,
+from repro.network.partitions import PartitionPlan
+from repro.obs.schema import SPAN_SHARED_WALK_BATCH
+from repro.obs.tracer import NULL_TRACER, Tracer, bridge_fault_log
+from repro.protocol.advertisements import AdvertisementCache
+from repro.protocol.batching import WalkBatchPlan
+from repro.protocol.lifecycle import (
+    RetryPolicy,
+    WalkLifecycle,
+    WalkOutcome,
+    WalkStats,
 )
-from repro.obs.tracer import (
-    NULL_SPAN,
-    NULL_TRACER,
-    Span,
-    TraceEvent,
-    Tracer,
-    bridge_fault_log,
+from repro.protocol.routing import (
+    HealthAwareRouting,
+    RoutingPolicy,
+    UniformRouting,
 )
-from repro.protocol.messages import SampleReturn, WalkToken
+from repro.protocol.transport import SimTransport
+from repro.protocol.walkers import WalkExecutor
 from repro.sampling.weights import WeightFunction
-from repro.sim.engine import Event, SimulationEngine
+from repro.sim.engine import SimulationEngine
 
-if TYPE_CHECKING:  # pragma: no cover - layering: protocol stays core-free
-    from repro.core.scheduler import WalkBatchPlan
+__all__ = [
+    "ProtocolConfig",
+    "ProtocolSampler",
+    "RetryPolicy",
+    "VARIANTS",
+    "WalkOutcome",
+    "WalkStats",
+]
 
 VARIANTS = ("bounce", "cached")
 
@@ -104,90 +106,6 @@ class ProtocolConfig:
             )
 
 
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Origin-side walk supervision.
-
-    A walk attempt that has not completed ``timeout`` ticks after launch
-    is declared lost and relaunched, up to ``max_retries`` retries; each
-    successive attempt's timeout is scaled by ``backoff`` (lost walks on a
-    congested or jittery overlay need progressively more slack). The
-    origin needs no global knowledge for this — it supervises only its
-    own outstanding requests.
-    """
-
-    timeout: int
-    max_retries: int = 3
-    backoff: float = 1.5
-
-    def __post_init__(self) -> None:
-        if self.timeout < 1:
-            raise SamplingError(f"timeout must be >= 1, got {self.timeout}")
-        if self.max_retries < 0:
-            raise SamplingError(
-                f"max_retries must be >= 0, got {self.max_retries}"
-            )
-        if self.backoff < 1.0:
-            raise SamplingError(f"backoff must be >= 1.0, got {self.backoff}")
-
-    def timeout_for(self, attempt: int) -> int:
-        """Timeout (ticks) for the given 1-based attempt number."""
-        return max(1, int(round(self.timeout * self.backoff ** (attempt - 1))))
-
-
-@dataclass(frozen=True)
-class WalkStats:
-    """Supervision outcome summary across all walks of a sampler."""
-
-    launched: int
-    completed: int
-    failed: int
-    attempts: int
-    timeouts: int
-    retried_completions: int  # walks that completed on attempt >= 2
-
-    @property
-    def completion_rate(self) -> float:
-        """Fraction of launched walks that eventually completed."""
-        return self.completed / self.launched if self.launched else 1.0
-
-    @property
-    def recovery_rate(self) -> float:
-        """Fraction of walks that timed out at least once but completed."""
-        troubled = self.retried_completions + self.failed
-        return self.retried_completions / troubled if troubled else 1.0
-
-
-@dataclass
-class _WalkOutcome:
-    walker_id: int
-    sampled_node: int
-    completed_at: int
-    attempts: int = 1
-
-
-@dataclass
-class _WalkState:
-    """Origin-side supervision record for one walk."""
-
-    walker_id: int
-    origin: int
-    walk_length: int
-    attempt: int = 0
-    timeouts: int = 0
-    done: bool = False
-    failed: bool = False
-    #: the neighbor this attempt first left the origin through, for
-    #: health attribution (reset per attempt; None until the token moves)
-    first_hop: int | None = None
-    timeout_event: Event | None = field(default=None, repr=False)
-    span: Span = field(default_factory=lambda: NULL_SPAN, repr=False)
-
-    @property
-    def finished(self) -> bool:
-        return self.done or self.failed
-
-
 class ProtocolSampler:
     """Distributed Metropolis sampling as a real message protocol.
 
@@ -213,33 +131,22 @@ class ProtocolSampler:
         if not graph.is_connected():
             raise TopologyError("the protocol needs a connected overlay")
         self._graph = graph
-        self._weight = weight
-        self._simulation = simulation
-        self._rng = rng
-        self.ledger = ledger if ledger is not None else MessageLedger()
         self._config = config if config is not None else ProtocolConfig()
-        self._faults = faults
-        #: hot-path flags precomputed from the (frozen) fault config so a
-        #: noop plan costs no per-message draw calls
-        self._lossy = faults is not None and faults.config.message_loss > 0.0
-        self._jittery = faults is not None and faults.config.latency_jitter > 0
-        self._retry = retry
-        #: walk/message telemetry; the default no-op tracer keeps the
-        #: per-hop handlers allocation-free when tracing is disabled.
-        #: ``enabled`` and the clock are cached as plain attributes — the
-        #: per-message handlers read them and property dispatch is
-        #: measurable at that call rate
+        self.ledger = ledger if ledger is not None else MessageLedger()
         self._tracer = tracer if tracer is not None else NULL_TRACER
-        self._traced = self._tracer.enabled
-        self._clock = simulation.clock
         #: audit trail of everything that went wrong (shared with the
         #: fault plan's log when one is injected, so crash/loss events and
         #: protocol-observed failures interleave in one timeline)
         self.fault_log: FaultLog = faults.log if faults is not None else FaultLog()
         bridge_fault_log(self.fault_log, self._tracer)
-        #: correlated failures: deliveries crossing an open partition (or
-        #: a flapped link) are dropped at the same point loss is injected
-        self._partitions = partitions
+        self._transport = SimTransport(
+            graph,
+            simulation,
+            self._config.hop_latency,
+            self.fault_log,
+            faults=faults,
+            partitions=partitions,
+        )
         #: origin-side link health; None keeps first-hop choice (and the
         #: RNG draw sequence) bit-identical to the health-free runtime
         self.health: HealthMonitor | None = (
@@ -247,41 +154,51 @@ class ProtocolSampler:
             if health is not None
             else None
         )
-        self._outcomes: dict[int, _WalkOutcome] = {}
-        self._states: dict[int, _WalkState] = {}
-        self._next_walker = 0
-        self._cached_weights: dict[int, dict[int, float]] = {}
-        self.advertisements_sent = 0
-        self.bounces = 0
-        if self._config.variant == "cached":
-            self._initial_advertisement_flood()
+        routing: RoutingPolicy = (
+            HealthAwareRouting(graph, self.health, rng, self.fault_log)
+            if self.health is not None
+            else UniformRouting(rng)
+        )
+        self._lifecycle = WalkLifecycle(
+            transport=self._transport,
+            tracer=self._tracer,
+            fault_log=self.fault_log,
+            clock=simulation.clock,
+            routing=routing,
+            retry=retry,
+        )
+        self._ads: AdvertisementCache | None = (
+            AdvertisementCache(
+                graph, weight, self.ledger, self._tracer, self._transport
+            )
+            if self._config.variant == "cached"
+            else None
+        )
+        self._executor = WalkExecutor(
+            graph=graph,
+            weight=weight,
+            rng=rng,
+            variant=self._config.variant,
+            hop_latency=self._config.hop_latency,
+            laziness=self._config.laziness,
+            transport=self._transport,
+            lifecycle=self._lifecycle,
+            routing=routing,
+            ledger=self.ledger,
+            fault_log=self.fault_log,
+            advertisements=self._ads,
+        )
+        self._lifecycle.bind(self._executor.inject)
+        if self._ads is not None:
+            self._ads.flood()
 
     # ------------------------------------------------------------------
     # cached-variant weight advertisement
     # ------------------------------------------------------------------
 
-    def _initial_advertisement_flood(self) -> None:
-        """Every node advertises its weight to every neighbor (setup)."""
-        for node in self._graph.nodes():
-            self._cached_weights[node] = {}
-        for node in self._graph.nodes():
-            weight = self._weight(node)
-            for neighbor in self._graph.neighbors(node):
-                self._deliver_advertisement(neighbor, node, weight)
-
-    def _deliver_advertisement(
-        self, to_node: int, source: int, weight: float
-    ) -> None:
-        self.ledger.record_control(1, label="weight_advertisement")
-        self.advertisements_sent += 1
-        if self._tracer.enabled:
-            self._tracer.event(
-                EVENT_ADVERTISEMENT,
-                time=self._simulation.now,
-                to_node=to_node,
-                source=source,
-            )
-        self._cached_weights.setdefault(to_node, {})[source] = weight
+    @property
+    def advertisements_sent(self) -> int:
+        return self._ads.sent if self._ads is not None else 0
 
     def notify_weight_change(self, node: int) -> None:
         """Cached variant: ``node``'s weight changed, re-advertise it.
@@ -290,52 +207,33 @@ class ProtocolSampler:
         (e.g. content size after inserts/deletes). The bounce variant
         needs no such calls — its correctness never depends on caches.
         """
-        if self._config.variant != "cached":
-            return
-        weight = self._weight(node)
-        for neighbor in self._graph.neighbors(node):
-            self._deliver_advertisement(neighbor, node, weight)
+        if self._ads is not None:
+            self._ads.notify_weight_change(node)
 
     def handle_topology_change(
         self,
-        joined: Iterable[int] = (),
-        left: Iterable[int] = (),
+        joined: tuple[int, ...] | list[int] | set[int] = (),
+        left: tuple[int, ...] | list[int] | set[int] = (),
     ) -> None:
         """Refresh cached-variant advertisements after overlay changes.
 
-        Purges cache entries sourced from departed nodes, then repairs
-        every missing neighbor entry (joins, and the new survivor-to-
-        survivor links that leave-rewiring creates) with a paid
-        advertisement. The bounce variant is cache-free and ignores this.
+        The bounce variant is cache-free and ignores this.
         """
-        if self._config.variant != "cached":
-            return
-        gone = set(left)
-        if gone:
-            for node in gone:
-                self._cached_weights.pop(node, None)
-            for cache in self._cached_weights.values():
-                for node in gone:
-                    cache.pop(node, None)
-        self._repair_advertisement_caches()
+        if self._ads is not None:
+            self._ads.handle_topology_change(joined=joined, left=left)
 
     def handle_churn(self, event: ChurnEvent) -> None:
         """Convenience: :meth:`handle_topology_change` from a churn event."""
         self.handle_topology_change(joined=event.joined, left=event.left)
 
-    def _repair_advertisement_caches(self) -> None:
-        """Advertise across every live edge missing a cached weight."""
-        for node in self._graph.nodes():
-            cache = self._cached_weights.setdefault(node, {})
-            for neighbor in self._graph.neighbors(node):
-                if neighbor not in cache:
-                    self._deliver_advertisement(
-                        node, neighbor, self._weight(neighbor)
-                    )
-
     # ------------------------------------------------------------------
     # walk initiation and supervision
     # ------------------------------------------------------------------
+
+    @property
+    def bounces(self) -> int:
+        """Rejected optimistic forwards bounced back (bounce variant)."""
+        return self._executor.bounces
 
     def start_walk(self, origin: int, walk_length: int) -> int:
         """Launch one sampling walk; returns its walker id."""
@@ -343,138 +241,7 @@ class ProtocolSampler:
             raise SamplingError(f"origin {origin} is not in the overlay")
         if walk_length < 1:
             raise SamplingError(f"walk_length must be >= 1, got {walk_length}")
-        walker_id = self._next_walker
-        self._next_walker += 1
-        state = _WalkState(
-            walker_id=walker_id, origin=origin, walk_length=walk_length
-        )
-        state.span = self._tracer.span(
-            SPAN_WALK,
-            time=self._simulation.now,
-            walker_id=walker_id,
-            origin=origin,
-            walk_length=walk_length,
-        )
-        self._states[walker_id] = state
-        self._launch_attempt(state)
-        return walker_id
-
-    def _launch_attempt(self, state: _WalkState) -> None:
-        """Begin the next attempt of a walk: arm the timeout, inject token."""
-        state.attempt += 1
-        state.first_hop = None
-        attempt = state.attempt
-        if attempt > 1:
-            state.span.add_event(
-                self._simulation.now, EVENT_RETRY, attempt=attempt
-            )
-        if self._retry is not None:
-            state.timeout_event = self._simulation.schedule_in(
-                self._retry.timeout_for(attempt),
-                lambda time: self._handle_timeout(state, attempt),
-            )
-
-        def begin(time: int) -> None:
-            if state.finished or attempt != state.attempt:
-                return
-            if state.origin not in self._graph:
-                self._fail_walk(state, "origin_departed")
-                return
-            self._handle_step(
-                state.walker_id,
-                state.origin,
-                state.origin,
-                state.walk_length,
-                attempt,
-            )
-
-        self._simulation.schedule_in(0, begin)
-
-    def _handle_timeout(self, state: _WalkState, attempt: int) -> None:
-        """Origin-side deadline: declare the attempt lost, retry or fail."""
-        if state.finished or attempt != state.attempt:
-            return  # superseded or already resolved; stale timer
-        state.timeouts += 1
-        state.span.add_event(
-            self._simulation.now, EVENT_TIMEOUT, attempt=attempt
-        )
-        self.fault_log.record(
-            self._simulation.now,
-            "walk_timeout",
-            walker_id=state.walker_id,
-            node=state.origin,
-            detail=f"attempt {attempt}",
-        )
-        if self.health is not None and state.first_hop is not None:
-            # the attempt died somewhere past its first hop: indict the
-            # link it left through (correlated timeouts trip its breaker)
-            self.health.record_outcome(
-                state.origin,
-                state.first_hop,
-                ok=False,
-                time=self._simulation.now,
-                n_neighbors=(
-                    len(self._graph.neighbors(state.origin))
-                    if state.origin in self._graph
-                    else None
-                ),
-            )
-        if self._retry is None or state.attempt > self._retry.max_retries:
-            self._fail_walk(state, "retries_exhausted")
-            return
-        self._launch_attempt(state)
-
-    def _fail_walk(self, state: _WalkState, reason: str) -> None:
-        """Terminal failure: record it; the walk yields no sample."""
-        state.failed = True
-        if state.timeout_event is not None:
-            state.timeout_event.cancel()
-            state.timeout_event = None
-        self.fault_log.record(
-            self._simulation.now,
-            "walk_failed",
-            walker_id=state.walker_id,
-            detail=reason,
-        )
-        self._tracer.end(
-            state.span,
-            time=self._simulation.now,
-            outcome="failed",
-            attempts=state.attempt,
-            reason=reason,
-        )
-
-    def _complete_walk(self, state: _WalkState, sampled_node: int) -> None:
-        """A sample made it back to the origin; release the supervisor."""
-        state.done = True
-        if self.health is not None and state.first_hop is not None:
-            self.health.record_outcome(
-                state.origin,
-                state.first_hop,
-                ok=True,
-                time=self._simulation.now,
-                n_neighbors=(
-                    len(self._graph.neighbors(state.origin))
-                    if state.origin in self._graph
-                    else None
-                ),
-            )
-        if state.timeout_event is not None:
-            state.timeout_event.cancel()
-            state.timeout_event = None
-        self._outcomes[state.walker_id] = _WalkOutcome(
-            walker_id=state.walker_id,
-            sampled_node=sampled_node,
-            completed_at=self._simulation.now,
-            attempts=state.attempt,
-        )
-        self._tracer.end(
-            state.span,
-            time=self._simulation.now,
-            outcome="completed",
-            attempts=state.attempt,
-            sampled_node=sampled_node,
-        )
+        return self._lifecycle.launch(origin, walk_length)
 
     def run_walks(
         self,
@@ -494,15 +261,9 @@ class ProtocolSampler:
         the caller degrades its precision honestly instead of aborting.
         """
         walker_ids = [self.start_walk(origin, walk_length) for _ in range(n)]
-        if deadline is None:
-            self._simulation.run_all()
-        else:
-            self._simulation.run_until(self._simulation.now + deadline)
-            for walker_id in walker_ids:
-                state = self._states[walker_id]
-                if not state.finished:
-                    self._fail_walk(state, "deadline_expired")
-        missing = [w for w in walker_ids if w not in self._outcomes]
+        self._lifecycle.drive(walker_ids, deadline)
+        outcomes = self._lifecycle.outcomes
+        missing = [w for w in walker_ids if w not in outcomes]
         if missing and not allow_partial:
             raise SamplingError(
                 f"{len(missing)} of {n} walks never completed "
@@ -511,15 +272,13 @@ class ProtocolSampler:
                 f"degrade instead"
             )
         return [
-            self._outcomes[w].sampled_node
-            for w in walker_ids
-            if w in self._outcomes
+            outcomes[w].sampled_node for w in walker_ids if w in outcomes
         ]
 
     def run_walk_batch(
         self,
         origin: int,
-        plan: "WalkBatchPlan",
+        plan: WalkBatchPlan,
         walk_length: int,
         allow_partial: bool = False,
         deadline: int | None = None,
@@ -536,7 +295,7 @@ class ProtocolSampler:
         """
         batch_span = self._tracer.span(
             SPAN_SHARED_WALK_BATCH,
-            time=self._simulation.now,
+            time=self._transport.now,
             n_requested=plan.n_walks,
             n_pooled=0,
             consumers=",".join(plan.consumers),
@@ -547,22 +306,14 @@ class ProtocolSampler:
         for index in range(plan.n_walks):
             walker_id = self.start_walk(origin, walk_length)
             consumers = plan.consumers_of(index)
-            self._states[walker_id].span.set(
+            self._lifecycle.record(walker_id).span.set(
                 consumers=",".join(consumers), n_consumers=len(consumers)
             )
             walker_ids.append(walker_id)
-        if deadline is None:
-            self._simulation.run_all()
-        else:
-            self._simulation.run_until(self._simulation.now + deadline)
-            for walker_id in walker_ids:
-                state = self._states[walker_id]
-                if not state.finished:
-                    self._fail_walk(state, "deadline_expired")
+        self._lifecycle.drive(walker_ids, deadline)
+        outcomes = self._lifecycle.outcomes
         delivered = [
-            self._outcomes[w].sampled_node
-            for w in walker_ids
-            if w in self._outcomes
+            outcomes[w].sampled_node for w in walker_ids if w in outcomes
         ]
         missing = plan.n_walks - len(delivered)
         if missing and not allow_partial:
@@ -573,7 +324,7 @@ class ProtocolSampler:
             )
         self._tracer.end(
             batch_span,
-            time=self._simulation.now,
+            time=self._transport.now,
             n_drawn=len(delivered),
         )
         return {
@@ -581,436 +332,10 @@ class ProtocolSampler:
             for demand in plan.demands
         }
 
-    def outcome(self, walker_id: int) -> _WalkOutcome | None:
-        return self._outcomes.get(walker_id)
+    def outcome(self, walker_id: int) -> WalkOutcome | None:
+        return self._lifecycle.outcomes.get(walker_id)
 
     @property
     def walk_stats(self) -> WalkStats:
         """Aggregate supervision outcomes across all launched walks."""
-        states = self._states.values()
-        completed = sum(1 for s in states if s.done)
-        return WalkStats(
-            launched=len(self._states),
-            completed=completed,
-            failed=sum(1 for s in states if s.failed),
-            attempts=sum(s.attempt for s in states),
-            timeouts=sum(s.timeouts for s in states),
-            retried_completions=sum(
-                1 for s in states if s.done and s.attempt > 1
-            ),
-        )
-
-    # ------------------------------------------------------------------
-    # unreliable delivery
-    # ------------------------------------------------------------------
-
-    def _record_traffic(self, attempt: int, kind: str) -> None:
-        """Tally one message; retry-attempt traffic goes to ``retries``."""
-        if attempt > 1:
-            self.ledger.record_retry(1)
-        elif kind == "walk":
-            self.ledger.record_walk_steps(1)
-        else:
-            self.ledger.record_sample_return(1)
-
-    def _transmit(
-        self,
-        attempt: int,
-        kind: str,
-        from_node: int,
-        to_node: int,
-        walker_id: int,
-        deliver: Callable[[], None],
-    ) -> None:
-        """Send one message: pay for it, maybe lose it, else deliver later.
-
-        The cost is recorded at send time — a message lost in transit was
-        still sent. Delivery runs ``deliver`` after the hop latency (plus
-        jitter under a fault plan) unless an open partition (or flapped
-        link) cuts the ``from_node -> to_node`` edge, the link drops it,
-        or the receiver has crashed by then; every outcome becomes a
-        fault event, never an exception.
-        """
-        self._record_traffic(attempt, kind)
-        if self._traced:
-            state = self._states.get(walker_id)
-            if state is not None:
-                # mirrors _record_traffic's ledger bucketing exactly, so
-                # trace attribution and the ledger cannot disagree
-                # (appended directly: this runs once per message)
-                state.span.events.append(
-                    TraceEvent(
-                        self._clock.now,
-                        EVENT_MESSAGE,
-                        {
-                            "category": "retry" if attempt > 1 else kind,
-                            "to_node": to_node,
-                        },
-                    )
-                )
-        partitions = self._partitions
-        if (
-            partitions is not None
-            and partitions.active
-            and partitions.blocked(from_node, to_node)
-        ):
-            # correlated drop: the sender paid for a message the cut
-            # swallows whole — exactly how a partitioned overlay looks
-            # from the inside (no error, just silence)
-            self.fault_log.record(
-                self._simulation.now,
-                "partition_drop",
-                walker_id=walker_id,
-                node=to_node,
-                detail=f"({from_node}, {to_node})",
-            )
-            return
-        faults = self._faults
-        if self._lossy and faults is not None and faults.message_lost():
-            self.fault_log.record(
-                self._simulation.now,
-                "message_loss",
-                walker_id=walker_id,
-                node=to_node,
-            )
-            return
-        delay = (
-            faults.delivery_delay(self._config.hop_latency)
-            if self._jittery and faults is not None
-            else self._config.hop_latency
-        )
-
-        def handle_delivery(time: int) -> None:
-            if to_node not in self._graph:
-                self.fault_log.record(
-                    time, "crashed_receiver", walker_id=walker_id, node=to_node
-                )
-                return
-            deliver()
-
-        self._simulation.schedule_in(delay, handle_delivery)
-
-    def _current_state(self, walker_id: int, attempt: int) -> _WalkState | None:
-        """The walk's state iff this attempt is still the live one."""
-        state = self._states.get(walker_id)
-        if state is None or state.finished or attempt != state.attempt:
-            return None
-        return state
-
-    # ------------------------------------------------------------------
-    # per-node protocol logic
-    # ------------------------------------------------------------------
-
-    def _handle_step(
-        self,
-        walker_id: int,
-        origin: int,
-        node: int,
-        steps_remaining: int,
-        attempt: int,
-    ) -> None:
-        """The node holding the token decides one chain transition."""
-        state = self._current_state(walker_id, attempt)
-        if state is None:
-            return  # superseded attempt or finished walk: drop the token
-        if self._traced:
-            # appended directly: this runs once per hop
-            state.span.events.append(
-                TraceEvent(
-                    self._clock.now,
-                    EVENT_HOP,
-                    {"node": node, "steps_remaining": steps_remaining},
-                )
-            )
-        if node not in self._graph:
-            self.fault_log.record(
-                self._simulation.now,
-                "node_departed",
-                walker_id=walker_id,
-                node=node,
-            )
-            return
-        if steps_remaining <= 0:
-            self._begin_return(walker_id, origin, node, attempt)
-            return
-        config = self._config
-        if config.laziness > 0.0 and self._rng.random() < config.laziness:
-            # lazy self-loop: burns a tick, sends nothing
-            self._simulation.schedule_in(
-                config.hop_latency,
-                lambda t: self._handle_step(
-                    walker_id, origin, node, steps_remaining - 1, attempt
-                ),
-            )
-            return
-        neighbors = self._graph.neighbors(node)
-        if not neighbors:
-            # crashes/link failures isolated the token's host; the walk
-            # dies here and the origin-side timeout recovers it
-            self.fault_log.record(
-                self._simulation.now,
-                "isolated_node",
-                walker_id=walker_id,
-                node=node,
-            )
-            return
-        if (
-            self.health is not None
-            and node == origin
-            and state.first_hop is None
-        ):
-            target = self._choose_first_hop(state, node, neighbors)
-            if target is None:
-                return
-        else:
-            target = neighbors[int(self._rng.integers(len(neighbors)))]
-            if node == origin and state.first_hop is None:
-                state.first_hop = target
-        if config.variant == "cached":
-            self._cached_step(
-                walker_id, origin, node, target, steps_remaining, attempt
-            )
-        else:
-            self._bounce_step(
-                walker_id, origin, node, target, steps_remaining, attempt
-            )
-
-    def _choose_first_hop(
-        self, state: _WalkState, origin: int, neighbors: list[int]
-    ) -> int | None:
-        """Health-aware first-hop choice: skip links with open breakers.
-
-        Draws uniformly over the *admitted* neighbors (closed breakers
-        plus at most the half-open probes the monitor offers). When every
-        link is suppressed the walk fast-fails instead of burning its
-        full timeout on a hop the origin already knows is dead — the
-        caller sees an honest shortfall immediately.
-        """
-        assert self.health is not None
-        now = self._simulation.now
-        admitted, probes = self.health.admitted(origin, neighbors, now)
-        if not admitted:
-            self.fault_log.record(
-                now,
-                "breaker_suppressed",
-                walker_id=state.walker_id,
-                node=origin,
-            )
-            self._fail_walk(state, "all_breakers_open")
-            return None
-        target = admitted[int(self._rng.integers(len(admitted)))]
-        state.first_hop = target
-        if target in probes:
-            self.health.start_probe(origin, target, now)
-        return target
-
-    def _acceptance(self, w_i: float, d_i: int, w_j: float, d_j: int) -> float:
-        if w_i == 0.0:
-            return 1.0
-        return min(1.0, (w_j * d_i) / (w_i * d_j))
-
-    def _cached_step(
-        self,
-        walker_id: int,
-        origin: int,
-        node: int,
-        target: int,
-        steps_remaining: int,
-        attempt: int,
-    ) -> None:
-        """Cached variant: decide locally; only accepted moves send."""
-        cached = self._cached_weights.get(node, {}).get(target)
-        if cached is None:
-            # cache miss (a link appeared without an advertisement, e.g.
-            # an unannounced join or leave-rewiring): probe the neighbor
-            # on demand — one request + one reply — instead of dying
-            self.ledger.record_control(2, label="weight_probe")
-            if self._traced:
-                probing = self._states.get(walker_id)
-                if probing is not None:
-                    probing.span.add_event(
-                        self._simulation.now,
-                        EVENT_PROBE,
-                        node=node,
-                        target=target,
-                        messages=2,
-                    )
-            self.fault_log.record(
-                self._simulation.now,
-                "advertisement_cache_miss",
-                walker_id=walker_id,
-                node=node,
-                detail=f"probed neighbor {target}",
-            )
-            cached = self._weight(target)
-            self._cached_weights.setdefault(node, {})[target] = cached
-        accept = self._acceptance(
-            self._weight(node),
-            self._graph.degree(node),
-            cached,
-            self._graph.degree(target),
-        )
-        if self._rng.random() < accept:
-            token = WalkToken(
-                walker_id=walker_id,
-                origin=origin,
-                steps_remaining=steps_remaining - 1,
-                sender=node,
-                sender_weight=self._weight(node),
-                sender_degree=self._graph.degree(node),
-                attempt=attempt,
-            )
-            self._send_token(token, target)
-        else:
-            # rejected proposal: no message at all in this variant
-            self._simulation.schedule_in(
-                self._config.hop_latency,
-                lambda t: self._handle_step(
-                    walker_id, origin, node, steps_remaining - 1, attempt
-                ),
-            )
-
-    def _bounce_step(
-        self,
-        walker_id: int,
-        origin: int,
-        node: int,
-        target: int,
-        steps_remaining: int,
-        attempt: int,
-    ) -> None:
-        """Bounce variant: forward optimistically; receiver may bounce."""
-        token = WalkToken(
-            walker_id=walker_id,
-            origin=origin,
-            steps_remaining=steps_remaining,
-            sender=node,
-            sender_weight=self._weight(node),
-            sender_degree=self._graph.degree(node),
-            attempt=attempt,
-        )
-        self._send_token(token, target, evaluate_at_receiver=True)
-
-    def _send_token(
-        self, token: WalkToken, to_node: int, evaluate_at_receiver: bool = False
-    ) -> None:
-        def deliver() -> None:
-            if evaluate_at_receiver:
-                self._receive_optimistic_token(token, to_node)
-            else:
-                self._handle_step(
-                    token.walker_id,
-                    token.origin,
-                    to_node,
-                    token.steps_remaining,
-                    token.attempt,
-                )
-
-        self._transmit(
-            token.attempt, "walk", token.sender, to_node, token.walker_id, deliver
-        )
-
-    def _receive_optimistic_token(self, token: WalkToken, node: int) -> None:
-        """Bounce variant, receiver side: accept or bounce back."""
-        if self._current_state(token.walker_id, token.attempt) is None:
-            return
-        accept = self._acceptance(
-            token.sender_weight,
-            token.sender_degree,
-            self._weight(node),
-            self._graph.degree(node),
-        )
-        if self._rng.random() < accept:
-            self._handle_step(
-                token.walker_id,
-                token.origin,
-                node,
-                token.steps_remaining - 1,
-                token.attempt,
-            )
-        else:
-            self.bounces += 1
-
-            def deliver() -> None:
-                self._handle_step(
-                    token.walker_id,
-                    token.origin,
-                    token.sender,
-                    token.steps_remaining - 1,
-                    token.attempt,
-                )
-
-            # the bounce message, subject to the same unreliable delivery
-            self._transmit(
-                token.attempt, "walk", node, token.sender, token.walker_id, deliver
-            )
-
-    # ------------------------------------------------------------------
-    # sample return routing
-    # ------------------------------------------------------------------
-
-    def _begin_return(
-        self, walker_id: int, origin: int, node: int, attempt: int
-    ) -> None:
-        self._handle_return(
-            SampleReturn(
-                walker_id=walker_id,
-                origin=origin,
-                sampled_node=node,
-                at_node=node,
-                attempt=attempt,
-            )
-        )
-
-    def _handle_return(self, message: SampleReturn) -> None:
-        """Route one return hop toward the origin on the live topology.
-
-        The holder re-resolves the next hop from fresh origin-rooted hop
-        distances every time, so the route adapts to crashes and
-        rewiring; a holder the origin can no longer reach records a
-        ``return_path_broken`` fault and lets the origin's timeout retry
-        the walk.
-        """
-        state = self._current_state(message.walker_id, message.attempt)
-        if state is None:
-            return
-        if message.at_node == message.origin:
-            self._complete_walk(state, message.sampled_node)
-            return
-        if message.origin not in self._graph or message.at_node not in self._graph:
-            self.fault_log.record(
-                self._simulation.now,
-                "return_path_broken",
-                walker_id=message.walker_id,
-                node=message.at_node,
-            )
-            return
-        distances = self._graph.hop_distances(message.origin)
-        my_distance = distances.get(message.at_node)
-        next_hop: int | None = None
-        if my_distance is not None:
-            for neighbor in self._graph.neighbors(message.at_node):
-                if distances.get(neighbor) == my_distance - 1:
-                    next_hop = neighbor
-                    break
-        if next_hop is None:
-            self.fault_log.record(
-                self._simulation.now,
-                "return_path_broken",
-                walker_id=message.walker_id,
-                node=message.at_node,
-            )
-            return
-        forwarded = replace(message, at_node=next_hop)
-
-        def deliver() -> None:
-            self._handle_return(forwarded)
-
-        self._transmit(
-            message.attempt,
-            "return",
-            message.at_node,
-            next_hop,
-            message.walker_id,
-            deliver,
-        )
+        return self._lifecycle.stats

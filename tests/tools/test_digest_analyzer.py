@@ -1,7 +1,7 @@
 """Tests for the cross-module digest analyzer (tools.digest_analyzer).
 
 Organization mirrors the architecture: fixture-driven tests per
-cross-module rule (DGL009-DGL013) — each seeded violation must be
+cross-module rule (DGL009-DGL014) — each seeded violation must be
 caught, and for the reachability rules the same fixture is shown to be
 *invisible* to the old per-file rule it upgrades — then the pragma
 layer, the baseline, the cache, SARIF, the CLI, and the repository
@@ -729,6 +729,93 @@ class TestHandlerRaiseReachability:
             )
             == []
         )
+
+
+# ----------------------------------------------------------------------
+# DGL014 -- layering conformance
+# ----------------------------------------------------------------------
+
+
+class TestLayeringConformance:
+    def test_protocol_importing_core_is_flagged(self) -> None:
+        sources = {
+            "src/repro/protocol/snippet.py": """\
+            from repro.core.scheduler import WalkBatchPlan
+
+            def plan():
+                return WalkBatchPlan
+            """
+        }
+        result = analyze(sources, select={"DGL014"})
+        assert [
+            (f.code, f.path, f.line) for f in result.findings
+        ] == [("DGL014", "src/repro/protocol/snippet.py", 1)]
+        assert "repro.core.scheduler" in result.findings[0].message
+
+    def test_network_importing_protocol_is_flagged(self) -> None:
+        sources = {
+            "src/repro/network/snippet.py": """\
+            import repro.protocol.runtime
+            """
+        }
+        assert codes(sources, select={"DGL014"}) == ["DGL014"]
+
+    def test_stack_direction_is_allowed(self) -> None:
+        """core -> protocol and protocol -> network flow with the stack."""
+        sources = {
+            "src/repro/core/snippet.py": """\
+            from repro.protocol.runtime import ProtocolSampler
+            """,
+            "src/repro/protocol/other.py": """\
+            from repro.network.graph import OverlayGraph
+            """,
+        }
+        assert codes(sources, select={"DGL014"}) == []
+
+    def test_type_checking_guard_is_still_a_crossing(self) -> None:
+        sources = {
+            "src/repro/protocol/snippet.py": """\
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.core.scheduler import WalkBatchPlan
+            """
+        }
+        result = analyze(sources, select={"DGL014"})
+        assert [f.code for f in result.findings] == ["DGL014"]
+        assert "TYPE_CHECKING" in result.findings[0].message
+
+    def test_relative_import_resolves_to_absolute(self) -> None:
+        """``from ..core import x`` in repro/protocol is repro.core."""
+        sources = {
+            "src/repro/protocol/snippet.py": """\
+            from ..core import scheduler
+            """
+        }
+        assert codes(sources, select={"DGL014"}) == ["DGL014"]
+
+    def test_deferred_function_level_import_is_seen(self) -> None:
+        sources = {
+            "src/repro/network/snippet.py": """\
+            def lazily():
+                from repro.protocol.runtime import ProtocolSampler
+                return ProtocolSampler
+            """
+        }
+        assert codes(sources, select={"DGL014"}) == ["DGL014"]
+
+    def test_tests_and_benchmarks_are_exempt(self) -> None:
+        sources = {
+            "tests/protocol/snippet.py": """\
+            from repro.core.session import DigestSession
+            from repro.protocol.runtime import ProtocolSampler
+            """,
+            "benchmarks/bench_snippet.py": """\
+            from repro.core.session import DigestSession
+            from repro.protocol.runtime import ProtocolSampler
+            """,
+        }
+        assert codes(sources, select={"DGL014"}) == []
 
 
 # ----------------------------------------------------------------------

@@ -13,7 +13,10 @@ check —
 * **DGL011** RNG-stream provenance: one generator, one named stream;
 * **DGL012** wall-clock reachability from simulation code (DGL002
   through any depth of helper indirection);
-* **DGL013** handler-raise reachability (DGL006, likewise).
+* **DGL013** handler-raise reachability (DGL006, likewise);
+* **DGL014** layering conformance: ``repro.protocol`` must not import
+  ``repro.core``, and ``repro.network`` must not import
+  ``repro.protocol`` — the protocol stack direction is one-way.
 
 Operationally: ``# dgl: disable=DGLxxx`` pragmas with unused-suppression
 detection (DGL099), a committed baseline for grandfathered findings,

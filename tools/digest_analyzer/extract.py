@@ -40,7 +40,7 @@ from tools.digest_analyzer.rules_local import (
 )
 
 #: Bump to invalidate every cached entry (facts layout or rule change).
-ANALYZER_VERSION = "1"
+ANALYZER_VERSION = "2"
 
 #: Local markers the resolver uses for names pass 2 must finish resolving.
 LOCAL_PREFIX = "@local."  # module-level def in the same file
@@ -96,6 +96,24 @@ class TraceCallFact:
 
 
 @dataclass
+class ImportFact:
+    """One import statement, resolved to the absolute module it names.
+
+    Relative imports (``from .batching import ...``) are resolved against
+    the importing file's package so layering rules (DGL014) see the same
+    dotted module either way. ``type_checking`` marks imports inside an
+    ``if TYPE_CHECKING:`` block — they create no runtime dependency, but
+    still couple the layers and are reported (with the guard noted).
+    """
+
+    lineno: int
+    col: int
+    #: absolute dotted module referenced (``repro.core.scheduler``)
+    module: str
+    type_checking: bool = False
+
+
+@dataclass
 class NameLiteralFact:
     """A string literal in a trace-name position (DGL010 raw material).
 
@@ -118,6 +136,7 @@ class FileFacts:
     functions: list[FunctionFact] = field(default_factory=list)
     trace_calls: list[TraceCallFact] = field(default_factory=list)
     name_literals: list[NameLiteralFact] = field(default_factory=list)
+    imports: list[ImportFact] = field(default_factory=list)
     parse_error: bool = False
 
     def to_json(self) -> dict[str, Any]:
@@ -167,6 +186,15 @@ class FileFacts:
                 }
                 for n in self.name_literals
             ],
+            "imports": [
+                {
+                    "lineno": i.lineno,
+                    "col": i.col,
+                    "module": i.module,
+                    "type_checking": i.type_checking,
+                }
+                for i in self.imports
+            ],
         }
 
     @classmethod
@@ -196,6 +224,7 @@ class FileFacts:
         facts.name_literals = [
             NameLiteralFact(**n) for n in data["name_literals"]
         ]
+        facts.imports = [ImportFact(**i) for i in data.get("imports", [])]
         return facts
 
 
@@ -549,6 +578,78 @@ def _iter_functions(
     yield from walk(tree.body, "")
 
 
+def _file_package(path: str) -> str:
+    """Dotted package containing ``path`` (``src`` layout aware).
+
+    ``src/repro/protocol/runtime.py`` -> ``repro.protocol``; for an
+    ``__init__.py`` the module *is* the package. Used to resolve
+    relative imports to absolute modules.
+    """
+    parts = [p for p in path.replace("\\", "/").split("/") if p not in (".", "")]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    if parts[-1].endswith(".py"):
+        parts = parts[:-1]  # for __init__.py the directory is the package
+    return ".".join(parts)
+
+
+def _collect_imports(tree: ast.Module, path: str) -> list[ImportFact]:
+    """Every import in the file, resolved to absolute dotted modules.
+
+    Walks compound statements (functions, ``try``, conditionals) so
+    deferred and guarded imports are seen too; imports under an
+    ``if TYPE_CHECKING:`` test carry ``type_checking=True``.
+    """
+    package = _file_package(path)
+    out: list[ImportFact] = []
+
+    def is_type_checking(test: ast.expr) -> bool:
+        rendered = _render(test)
+        return rendered in ("TYPE_CHECKING", "typing.TYPE_CHECKING")
+
+    def visit(body: list[ast.stmt], guarded: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    out.append(
+                        ImportFact(
+                            stmt.lineno, stmt.col_offset + 1, alias.name, guarded
+                        )
+                    )
+            elif isinstance(stmt, ast.ImportFrom):
+                module = stmt.module or ""
+                if stmt.level:
+                    base = package.split(".") if package else []
+                    drop = stmt.level - 1
+                    base = base[: len(base) - drop] if drop else base
+                    module = ".".join(base + ([module] if module else []))
+                if module:
+                    out.append(
+                        ImportFact(
+                            stmt.lineno, stmt.col_offset + 1, module, guarded
+                        )
+                    )
+            elif isinstance(stmt, ast.If):
+                visit(stmt.body, guarded or is_type_checking(stmt.test))
+                visit(stmt.orelse, guarded)
+            else:
+                fields = ("body", "orelse", "finalbody", "handlers", "cases")
+                for field_name in fields:
+                    children = getattr(stmt, field_name, None)
+                    if not children:
+                        continue
+                    for child in children:
+                        if isinstance(child, (ast.excepthandler, ast.match_case)):
+                            visit(child.body, guarded)
+                        elif isinstance(child, ast.stmt):
+                            visit([child], guarded)
+
+    visit(tree.body, False)
+    return out
+
+
 def extract_file_facts(
     source: str, path: str
 ) -> tuple[FileFacts, list[Finding]]:
@@ -585,6 +686,7 @@ def extract_file_facts(
             )
         ]
 
+    facts.imports = _collect_imports(tree, path)
     imports = _import_map(tree)
     module_defs = frozenset(
         node.name

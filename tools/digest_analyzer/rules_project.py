@@ -1,4 +1,4 @@
-"""Cross-module rules (DGL009-DGL013): pass 2 over the project view.
+"""Cross-module rules (DGL009-DGL014): pass 2 over the project view.
 
 Unlike the per-file rules these need the whole program: the declared
 trace schema, the call graph, or the interprocedural RNG summaries.
@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from tools.digest_analyzer.extract import TraceCallFact
 from tools.digest_analyzer.findings import Finding
-from tools.digest_analyzer.project import Project, ProjectFunction, path_parts
+from tools.digest_analyzer.project import (
+    Project,
+    ProjectFunction,
+    module_name,
+    path_parts,
+)
 from tools.digest_analyzer.rules_local import _SIM_SCOPES
 from tools.digest_analyzer.schema_facts import SCHEMA_MODULE, SchemaFacts
 
@@ -468,12 +473,78 @@ class HandlerRaiseReachability(ProjectRule):
         return findings
 
 
+class LayeringConformance(ProjectRule):
+    """DGL014: imports must respect the declared layer direction."""
+
+    code = "DGL014"
+    name = "layering-conformance"
+    summary = (
+        "repro.protocol must not import repro.core, and repro.network "
+        "must not import repro.protocol (stack direction is one-way)"
+    )
+    rationale = (
+        "The protocol stack layers one way: core orchestrates protocol, "
+        "protocol runs over network primitives. An import against that "
+        "direction (protocol reaching up into core, network reaching up "
+        "into protocol) couples a lower layer to its callers, reintroduces "
+        "the monolith the stack was split to remove, and blocks swapping "
+        "a layer (e.g. an asyncio Transport) independently. TYPE_CHECKING "
+        "guards don't exempt a crossing: type-only coupling still pins "
+        "the layer boundary."
+    )
+
+    #: (importing-layer prefix, forbidden-target prefix)
+    _FORBIDDEN: tuple[tuple[str, str], ...] = (
+        ("repro.protocol", "repro.core"),
+        ("repro.network", "repro.protocol"),
+    )
+
+    @staticmethod
+    def _within(module: str, prefix: str) -> bool:
+        return module == prefix or module.startswith(prefix + ".")
+
+    def check(self, project: Project, schema: SchemaFacts) -> list[Finding]:
+        findings: list[Finding] = []
+        for path, facts in project.facts_by_path.items():
+            if not _in_src_repro(path_parts(path)):
+                continue
+            module = module_name(path)
+            layers = [
+                (low, high)
+                for low, high in self._FORBIDDEN
+                if self._within(module, low)
+            ]
+            if not layers:
+                continue
+            for imp in facts.imports:
+                for low, high in layers:
+                    if not self._within(imp.module, high):
+                        continue
+                    guard = (
+                        " (TYPE_CHECKING-guarded, still a layer crossing)"
+                        if imp.type_checking
+                        else ""
+                    )
+                    findings.append(
+                        self._finding(
+                            path,
+                            imp.lineno,
+                            imp.col,
+                            f"layer violation: {low} module imports "
+                            f"{imp.module!r}{guard}; the stack direction "
+                            f"is {high} -> {low}, invert the dependency",
+                        )
+                    )
+        return findings
+
+
 ALL_PROJECT_RULES: tuple[ProjectRule, ...] = (
     TraceSchemaConformance(),
     TraceNameLiterals(),
     RngStreamCrossing(),
     WallClockReachability(),
     HandlerRaiseReachability(),
+    LayeringConformance(),
 )
 
 PROJECT_RULES_BY_CODE: dict[str, ProjectRule] = {
