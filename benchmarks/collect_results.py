@@ -27,6 +27,43 @@ MULTI_QUERY_JSON = Path(__file__).parent.parent / "BENCH_multi_query.json"
 FAULTS_JSON = Path(__file__).parent.parent / "BENCH_faults.json"
 OBS_JSON = Path(__file__).parent.parent / "BENCH_obs.json"
 
+#: each folded BENCH_*.json and the script whose output it freezes; a
+#: payload older than its producer is stale (the producer changed since)
+BENCH_PRODUCERS: tuple[tuple[Path, Path], ...] = (
+    (OBS_JSON, Path(__file__).parent / "bench_obs_overhead.py"),
+    (FAULTS_JSON, Path(__file__).parent / "bench_fault_overhead.py"),
+    (
+        MULTI_QUERY_JSON,
+        Path(__file__).parent.parent
+        / "src"
+        / "repro"
+        / "experiments"
+        / "multi_query.py",
+    ),
+)
+
+
+def stale_bench_payloads(
+    pairs: tuple[tuple[Path, Path], ...] = BENCH_PRODUCERS,
+) -> list[str]:
+    """Folded BENCH files whose producing bench script is newer (mtime).
+
+    A stale payload means the committed numbers predate the current
+    bench code — re-run the producer and re-collect. Returns one warning
+    line per stale payload; missing files are not stale (nothing was
+    folded yet).
+    """
+    warnings = []
+    for payload, producer in pairs:
+        if not payload.exists() or not producer.exists():
+            continue
+        if payload.stat().st_mtime < producer.stat().st_mtime:
+            warnings.append(
+                f"{payload.name} is older than {producer.name}; its numbers "
+                f"predate the current bench — re-run the bench and re-collect"
+            )
+    return warnings
+
 SECTIONS: list[tuple[str, list[str]]] = [
     (
         "Paper artifacts",
@@ -273,6 +310,8 @@ def main() -> int:
     emit_multi_query_json()
     emit_faults_json()
     emit_obs_json()
+    for warning in stale_bench_payloads():
+        print(f"warning: {warning}", file=sys.stderr)
     output = collect()
     obs_section = render_obs_overhead()
     if obs_section:

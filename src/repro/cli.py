@@ -21,9 +21,11 @@ Four subcommands::
     repro-digest trace replay --input trace.jsonl --query "..."  [...]
         Record a workload into the portable trace format / replay one.
 
-    repro-digest trace summarize|attribute|flame|tail --input t.jsonl
+    repro-digest trace summarize|attribute|flame|tail|critpath --input t.jsonl
         Analyze an exported telemetry trace; ``tail`` streams it through
-        the live window/alert pipeline (one line per closed window).
+        the live window/alert pipeline (one line per closed window);
+        ``critpath`` assembles hop-level causal trees and prints the
+        critical path of each walk batch.
 
 Also runnable as ``python -m repro``.
 """
@@ -161,6 +163,17 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("time", "count"),
         default="time",
         help="stack weight: self sim-time (default) or span count",
+    )
+    critpath = trace_commands.add_parser(
+        "critpath",
+        help=(
+            "assemble per-walk causal trees from hop segments and print "
+            "the critical path bounding each walk batch"
+        ),
+    )
+    critpath.add_argument("--input", required=True)
+    critpath.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
     )
     tail = trace_commands.add_parser(
         "tail",
@@ -553,6 +566,64 @@ def _flame_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _critpath_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import analysis, import_trace
+
+    trace = import_trace(args.input)
+    assembly = analysis.assemble(trace)
+    paths = analysis.critical_paths(trace, assembly)
+    attribution = analysis.hop_latency_attribution(assembly)
+    if args.json:
+        emit(
+            json.dumps(
+                {
+                    "assembly": assembly.summary(),
+                    "hop_latency": attribution,
+                    "critical_paths": [path.as_dict() for path in paths],
+                },
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    emit(f"trace: {args.input}")
+    summary = assembly.summary()
+    emit(
+        f"assembled {summary['n_walks']} walks, {summary['n_hops']} hops "
+        f"({summary['n_orphans']} orphans, {summary['n_unrooted']} unrooted; "
+        f"orphan rate {assembly.orphan_rate:.1%})"
+    )
+    if attribution:
+        emit("\nhop latency by category:")
+        for category, stats in attribution.items():
+            emit(
+                f"  {category:12s} n={stats['count']:6.0f}  "
+                f"total={stats['total']:8.0f}  mean={stats['mean']:6.2f}  "
+                f"max={stats['max']:5.0f}"
+            )
+    if not paths:
+        emit("\nno walks to bound (v1 trace or non-recording run?)")
+        return 0
+    emit("\ncritical paths (bounding walk per scope):")
+    for path in paths:
+        emit(
+            f"  {path.scope:12s} walks={path.n_walks:5d}  "
+            f"walker={path.walker_id:5d}  "
+            f"walk_latency={path.walk_latency:5d}  "
+            f"transit={path.chain_latency:5d}  "
+            f"supervision={path.supervision_latency:5d}"
+        )
+        for hop in path.hops:
+            emit(
+                f"      {hop.from_node:4d} -> {hop.to_node:4d}  "
+                f"{hop.category:8s} t=[{hop.start},{hop.end}] "
+                f"latency={hop.latency}"
+            )
+    return 0
+
+
 def _tail_trace(args: argparse.Namespace) -> int:
     from repro.obs import import_trace
     from repro.obs.alerts import FIRING, AlertEngine, load_rules
@@ -631,6 +702,8 @@ def _run_trace(args: argparse.Namespace) -> int:
         return _flame_trace(args)
     if args.trace_command == "tail":
         return _tail_trace(args)
+    if args.trace_command == "critpath":
+        return _critpath_trace(args)
     if args.trace_command == "record":
         from repro.datasets.traces import TraceRecorder
         from repro.experiments.harness import build_instance

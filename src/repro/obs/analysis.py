@@ -15,11 +15,25 @@ bookkeeping exactly:
   :func:`degraded_timeline` and :func:`trigger_breakdown` reconstruct the
   diagnostic views the ``repro-digest trace summarize`` CLI prints;
 * :func:`folded_stacks` emits flamegraph-style folded stacks over
-  simulated time.
+  simulated time;
+* the causal layer (:mod:`repro.obs.causal`) is re-exported here:
+  :func:`assemble` joins hop segments back into per-walk causal trees,
+  :func:`hop_latency_attribution` splits transit latency by category,
+  and :func:`critical_paths` names the hop chain that bounded each walk
+  batch (``repro-digest trace critpath``).
 """
 
 from __future__ import annotations
 
+from repro.obs.causal import (
+    CausalAssembly as CausalAssembly,
+    CausalHop as CausalHop,
+    CriticalPath as CriticalPath,
+    WalkTree as WalkTree,
+    assemble as assemble,
+    critical_paths as critical_paths,
+    hop_latency_attribution as hop_latency_attribution,
+)
 from repro.obs.registry import DEFAULT_DURATION_BUCKETS, Histogram
 from repro.obs.schema import (
     EVENT_ADVERTISEMENT,

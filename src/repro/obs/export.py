@@ -10,6 +10,23 @@ byte-identical files — the round-trip test asserts
 The format is deliberately self-contained: no numpy import (scalar
 attribute values from numpy-based callers are converted through their
 duck-typed ``.item()``), no pickle, nothing version-fragile.
+
+Format history
+--------------
+* **v1** — the original record shapes (header / span / event).
+* **v2** — causal tracing: traces may contain ``hop_segment`` spans,
+  ``ctx_forward`` events, and ``ctx_*`` keys on hop/retry events. The
+  record shapes are unchanged and every v1 name kept its value, so v1
+  files import through the same reader (:data:`SUPPORTED_VERSIONS`) and
+  analyze byte-identically — ``tests/obs/test_export_compat.py`` gates
+  this against a committed v1 fixture. New exports are always written at
+  the current version.
+
+The reader also tolerates a *truncated tail*: a run killed mid-write cuts
+the final line short, and that partial line is dropped (recorded as
+``meta["truncated"]``) instead of failing the import — whole corrupt
+lines anywhere earlier still raise. Downstream assembly
+(:mod:`repro.obs.causal`) degrades gracefully on the missing spans.
 """
 
 from __future__ import annotations
@@ -20,8 +37,12 @@ from typing import IO
 
 from repro.obs.tracer import Span, Trace, TraceEvent
 
-#: Bumped on any incompatible record-shape change.
-FORMAT_VERSION = 1
+#: Bumped on any record-shape or semantics change (see format history).
+FORMAT_VERSION = 2
+
+#: Versions :func:`import_trace` accepts. v1 needs no translation — v2
+#: only *added* span/event names — so the shim is pure acceptance.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def _json_default(value: object) -> object:
@@ -83,58 +104,75 @@ def export_trace(trace: Trace, path: str | Path) -> Path:
 
 
 def import_trace(path: str | Path) -> Trace:
-    """Read a JSONL trace written by :func:`export_trace`."""
+    """Read a JSONL trace written by :func:`export_trace`.
+
+    Accepts every version in :data:`SUPPORTED_VERSIONS`. A partial final
+    line (truncated tail from a killed run) is dropped and flagged in
+    ``trace.meta["truncated"]``; corruption anywhere else raises.
+    """
     source = Path(path)
     trace = Trace()
     with source.open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
+        lines = fh.read().splitlines()
+    last_lineno = len(lines)
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
             record = json.loads(line)
-            kind = record.get("kind")
-            if kind == "header":
-                version = record.get("format_version")
-                if version != FORMAT_VERSION:
-                    raise ValueError(
-                        f"{source}: unsupported trace format version "
-                        f"{version!r} (expected {FORMAT_VERSION})"
-                    )
-                trace.meta = dict(record.get("meta") or {})
-            elif kind == "span":
-                span = Span(
-                    span_id=int(record["span_id"]),
-                    name=str(record["name"]),
-                    start=int(record["start"]),
-                    parent_id=(
-                        None
-                        if record.get("parent_id") is None
-                        else int(record["parent_id"])
-                    ),
-                    attrs=dict(record.get("attrs") or {}),
-                    end=(
-                        None
-                        if record.get("end") is None
-                        else int(record["end"])
-                    ),
-                )
-                for time, name, attrs in record.get("events") or []:
-                    span.events.append(
-                        TraceEvent(
-                            time=int(time), name=str(name), attrs=dict(attrs)
-                        )
-                    )
-                trace.spans.append(span)
-            elif kind == "event":
-                trace.events.append(
-                    TraceEvent(
-                        time=int(record["time"]),
-                        name=str(record["name"]),
-                        attrs=dict(record.get("attrs") or {}),
-                    )
-                )
-            else:
+        except ValueError:
+            if lineno == last_lineno:
+                # a run killed mid-export cuts the last line short; the
+                # records before it are intact and still worth reading
+                trace.meta["truncated"] = True
+                break
+            raise ValueError(
+                f"{source}:{lineno}: corrupt trace record"
+            ) from None
+        kind = record.get("kind")
+        if kind == "header":
+            version = record.get("format_version")
+            if version not in SUPPORTED_VERSIONS:
                 raise ValueError(
-                    f"{source}:{lineno}: unknown trace record kind {kind!r}"
+                    f"{source}: unsupported trace format version "
+                    f"{version!r} (supported: {SUPPORTED_VERSIONS})"
                 )
+            trace.meta = dict(record.get("meta") or {})
+        elif kind == "span":
+            span = Span(
+                span_id=int(record["span_id"]),
+                name=str(record["name"]),
+                start=int(record["start"]),
+                parent_id=(
+                    None
+                    if record.get("parent_id") is None
+                    else int(record["parent_id"])
+                ),
+                attrs=dict(record.get("attrs") or {}),
+                end=(
+                    None
+                    if record.get("end") is None
+                    else int(record["end"])
+                ),
+            )
+            for time, name, attrs in record.get("events") or []:
+                span.events.append(
+                    TraceEvent(
+                        time=int(time), name=str(name), attrs=dict(attrs)
+                    )
+                )
+            trace.spans.append(span)
+        elif kind == "event":
+            trace.events.append(
+                TraceEvent(
+                    time=int(record["time"]),
+                    name=str(record["name"]),
+                    attrs=dict(record.get("attrs") or {}),
+                )
+            )
+        else:
+            raise ValueError(
+                f"{source}:{lineno}: unknown trace record kind {kind!r}"
+            )
     return trace

@@ -12,7 +12,11 @@ maintains tumbling windows over simulated time:
   :func:`repro.obs.analysis.message_attribution` bucketing);
 * pool hit ratio, snapshot-query and degraded-estimate counts;
 * circuit-breaker churn plus the open-breaker fraction (globally and per
-  origin) sampled at each window boundary.
+  origin) sampled at each window boundary;
+* hop-segment transit latency (p95) and the orphan-span rate — transits
+  delivered after their attempt was superseded (trace format v2; these
+  signals stay zero unless a recording sink has hop segments produced,
+  since the non-recording fast path never creates them).
 
 Memory is bounded by construction: one open accumulator plus a
 ``deque(maxlen=history)`` of closed windows — a week-long run costs the
@@ -49,6 +53,7 @@ from repro.obs.schema import (
     EVENT_FAULT,
     EVENT_MESSAGE,
     EVENT_PROBE,
+    SPAN_HOP_SEGMENT,
     SPAN_POOL_SERVE,
     SPAN_SNAPSHOT_QUERY,
     SPAN_WALK,
@@ -66,6 +71,24 @@ def _as_int(value: object, default: int = 0) -> int:
     if isinstance(value, (int, float)):
         return int(value)
     return default
+
+
+def _percentile(counts: dict[int, int], q: float) -> float:
+    """The q-quantile of a value -> count map (0.0 when empty).
+
+    Latencies are small simulated-tick integers, so a count map is both
+    exact and bounded — no reservoir needed for a p95 over a window.
+    """
+    total = sum(counts.values())
+    if not total:
+        return 0.0
+    rank = max(1, int(q * total) + (0 if q * total == int(q * total) else 1))
+    seen = 0
+    for value in sorted(counts):
+        seen += counts[value]
+        if seen >= rank:
+            return float(value)
+    return float(max(counts))
 
 
 @dataclass(frozen=True)
@@ -116,6 +139,10 @@ class WindowStats:
     snapshots: int = 0
     degraded: int = 0
     faults: int = 0
+    hops: int = 0
+    hop_orphans: int = 0
+    #: transit latency -> count (exact; latencies are small tick values)
+    hop_latencies: dict[int, int] = field(default_factory=dict)
     breaker_trips: int = 0
     breaker_closes: int = 0
     breaker_open_fraction: float = 0.0
@@ -157,6 +184,11 @@ class WindowStats:
                 self.degraded / self.snapshots if self.snapshots else 0.0
             ),
             "fault_count": float(self.faults),
+            "hop_count": float(self.hops),
+            "hop_latency_p95": _percentile(self.hop_latencies, 0.95),
+            "orphan_span_rate": (
+                self.hop_orphans / self.hops if self.hops else 0.0
+            ),
             "breaker_trip_count": float(self.breaker_trips),
             "breaker_open_fraction": self.breaker_open_fraction,
         }
@@ -179,6 +211,12 @@ class WindowStats:
         self.snapshots += other.snapshots
         self.degraded += other.degraded
         self.faults += other.faults
+        self.hops += other.hops
+        self.hop_orphans += other.hop_orphans
+        for latency, count in other.hop_latencies.items():
+            self.hop_latencies[latency] = (
+                self.hop_latencies.get(latency, 0) + count
+            )
         self.breaker_trips += other.breaker_trips
         self.breaker_closes += other.breaker_closes
         # state snapshots: the later window's view wins
@@ -345,6 +383,14 @@ class LivePipeline:
                             window.messages.get(str(category), 0)
                             + _as_int(count)
                         )
+        elif span.name == SPAN_HOP_SEGMENT:
+            window.hops += 1
+            latency = span.duration
+            window.hop_latencies[latency] = (
+                window.hop_latencies.get(latency, 0) + 1
+            )
+            if bool(span.attrs.get("orphaned", False)):
+                window.hop_orphans += 1
         elif span.name == SPAN_SNAPSHOT_QUERY:
             window.snapshots += 1
             if bool(span.attrs.get("degraded", False)):

@@ -1,4 +1,4 @@
-"""The declared trace schema: every span and event name of trace format v1.
+"""The declared trace schema: every span and event name of the trace format.
 
 Span and event names used to be free-form string literals spread across
 ~30 producing call sites (``tracer.span("walk", ...)``) and ~24 consuming
@@ -20,9 +20,13 @@ class of bug:
   literals in the consumers (``repro.obs.analysis``,
   ``tools/trace_analysis``, ``benchmarks/collect_results.py``).
 
-The *values* of the constants are part of trace format v1 and must never
-change — exported JSONL traces on disk (CI artifacts, RESULTS.md inputs)
-use these exact strings. ``tests/obs/test_schema.py`` pins each value.
+The *values* of the constants are part of the on-disk trace format and
+must never change — exported JSONL traces (CI artifacts, RESULTS.md
+inputs) use these exact strings. ``tests/obs/test_schema.py`` pins each
+value. Trace format v2 (causal tracing) *added* ``SPAN_HOP_SEGMENT`` and
+``EVENT_CTX_FORWARD`` plus optional ``ctx_*`` keys on existing events;
+every v1 name kept its value, which is why the v1 import shim in
+``repro.obs.export`` needs no translation.
 
 Adding a new span or event name (see docs/OBSERVABILITY.md):
 
@@ -87,7 +91,7 @@ class EventSchema:
 
 
 # ----------------------------------------------------------------------
-# span names (trace format v1 — values are frozen, see module docstring)
+# span names (values are frozen, see module docstring)
 # ----------------------------------------------------------------------
 
 #: One supervised random walk, from launch to completion or failure.
@@ -106,6 +110,9 @@ SPAN_PARTITION_CELL = "partition_cell"
 SPAN_SAMPLE_ACQUISITION = "sample_acquisition"
 #: One two-stage tuple-sampling round (nodes, then local tuples).
 SPAN_TUPLE_SAMPLING = "tuple_sampling"
+#: One message transit between two nodes, joined to its walk by the
+#: trace context the message carried (trace format v2).
+SPAN_HOP_SEGMENT = "hop_segment"
 
 # ----------------------------------------------------------------------
 # event names
@@ -141,6 +148,9 @@ EVENT_BREAKER_CLOSE = "breaker_close"
 EVENT_ALERT_FIRING = "alert_firing"
 #: A firing alert rule transitioning back to resolved (loose).
 EVENT_ALERT_RESOLVED = "alert_resolved"
+#: A handler forwarding a message with its trace context unchanged
+#: (on the walk span; trace format v2).
+EVENT_CTX_FORWARD = "ctx_forward"
 
 
 SPAN_SCHEMAS: dict[str, SpanSchema] = {
@@ -238,6 +248,20 @@ SPAN_SCHEMAS: dict[str, SpanSchema] = {
             required=("n_requested", "origin", "n_drawn", "rounds", "partial"),
             description="one two-stage tuple-sampling round",
         ),
+        SpanSchema(
+            SPAN_HOP_SEGMENT,
+            required=(
+                "walker_id",
+                "category",
+                "from_node",
+                "to_node",
+                "ctx_trace",
+                "ctx_span",
+                "ctx_attempt",
+            ),
+            optional=("delivered", "orphaned"),
+            description="one message transit (send to delivery), ctx-joined",
+        ),
     )
 }
 
@@ -257,6 +281,7 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
         EventSchema(
             EVENT_RETRY,
             required=("attempt",),
+            optional=("ctx_trace", "ctx_span", "ctx_attempt"),
             span=SPAN_WALK,
             description="a walk attempt superseded by a retry",
         ),
@@ -275,6 +300,7 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
         EventSchema(
             EVENT_HOP,
             required=("node", "steps_remaining"),
+            optional=("ctx_trace", "ctx_span", "ctx_attempt"),
             span=SPAN_WALK,
             description="one walker hop",
         ),
@@ -324,6 +350,12 @@ EVENT_SCHEMAS: dict[str, EventSchema] = {
             EVENT_ALERT_RESOLVED,
             required=("rule", "kind", "signal", "value", "threshold"),
             description="a firing alert rule returning to resolved",
+        ),
+        EventSchema(
+            EVENT_CTX_FORWARD,
+            required=("ctx_trace", "ctx_span", "ctx_attempt", "from_node", "to_node"),
+            span=SPAN_WALK,
+            description="a handler forwarding a message, context unchanged",
         ),
     )
 }

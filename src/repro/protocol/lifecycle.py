@@ -39,6 +39,16 @@ event construction entirely and keep a per-category message count that
 is attached to the walk span as ``messages_by_category`` at walk end —
 the quantity :class:`~repro.obs.live.LivePipeline` actually needs, at a
 fraction of the cost (see ``benchmarks/bench_obs_overhead.py``).
+
+Causal stamping
+---------------
+The lifecycle is also the *stamping authority* for causal tracing: every
+attempt gets a fresh :class:`~repro.protocol.messages.TraceContext`
+(minted through the one sanctioned helper,
+:func:`~repro.protocol.messages.mint_context`) that travels inside every
+message the attempt sends. Downstream layers forward it unchanged —
+statically enforced by digest-lint DGL015 — so hop-level spans recorded
+mid-overlay join back to their walk without origin-side inference.
 """
 
 from __future__ import annotations
@@ -49,14 +59,17 @@ from typing import TYPE_CHECKING, Callable
 from repro.errors import SamplingError
 from repro.network.faults import FaultLog
 from repro.obs.schema import (
+    EVENT_CTX_FORWARD,
     EVENT_HOP,
     EVENT_MESSAGE,
     EVENT_PROBE,
     EVENT_RETRY,
     EVENT_TIMEOUT,
+    SPAN_HOP_SEGMENT,
     SPAN_WALK,
 )
 from repro.obs.tracer import NULL_SPAN, Span, TraceEvent, Tracer
+from repro.protocol.messages import TraceContext, mint_context
 from repro.protocol.transport import Transport
 from repro.sim.clock import SimulationClock
 from repro.sim.engine import Event
@@ -190,6 +203,10 @@ class WalkRecord:
     #: the neighbor this attempt first left the origin through, for
     #: health attribution (reset per attempt; None until the token moves)
     first_hop: int | None = None
+    #: causal context stamped for the *current* attempt; every message
+    #: this attempt sends carries it (re-minted per attempt, so stale
+    #: deliveries assemble as orphans instead of joining the live chain)
+    ctx: TraceContext | None = None
     timeout_event: Event | None = field(default=None, repr=False)
     span: Span = field(default_factory=lambda: NULL_SPAN, repr=False)
     #: per-category message counts, kept only on the non-recording trace
@@ -282,9 +299,18 @@ class WalkLifecycle:
         record.attempt += 1
         record.first_hop = None
         attempt = record.attempt
+        # the stamping authority: a fresh context per attempt, rooted at
+        # the walk span (DGL015 keeps minting confined to this module)
+        ctx = mint_context(record.span.span_id, record.span.span_id, attempt)
+        record.ctx = ctx
         if attempt > 1:
             record.span.add_event(
-                self._transport.now, EVENT_RETRY, attempt=attempt
+                self._transport.now,
+                EVENT_RETRY,
+                attempt=attempt,
+                ctx_trace=ctx.trace_id,
+                ctx_span=ctx.span_id,
+                ctx_attempt=ctx.attempt,
             )
         if self._retry is not None:
             record.timeout_event = self._transport.schedule(
@@ -422,12 +448,20 @@ class WalkLifecycle:
     def note_hop(self, record: WalkRecord, node: int, steps_remaining: int) -> None:
         """One walker hop; recorded only when a sink keeps span events."""
         if self._traced and self._tracer.is_recording:
+            ctx = record.ctx
+            assert ctx is not None, "live record without a minted context"
             # appended directly: this runs once per hop
             record.span.events.append(
                 TraceEvent(
                     self._clock.now,
                     EVENT_HOP,
-                    {"node": node, "steps_remaining": steps_remaining},
+                    {
+                        "node": node,
+                        "steps_remaining": steps_remaining,
+                        "ctx_trace": ctx.trace_id,
+                        "ctx_span": ctx.span_id,
+                        "ctx_attempt": ctx.attempt,
+                    },
                 )
             )
 
@@ -481,6 +515,86 @@ class WalkLifecycle:
             if counts is None:
                 counts = record.msg_counts = {}
             counts["probe"] = counts.get("probe", 0) + 2
+
+    def begin_hop_segment(
+        self,
+        walker_id: int,
+        kind: str,
+        from_node: int,
+        to_node: int,
+        ctx: TraceContext | None,
+    ) -> Span | None:
+        """Open one message-transit span, joined to its walk by ``ctx``.
+
+        Returns ``None`` on the non-recording path — transit spans exist
+        only for sinks that retain them (export, registry), so the hot
+        path pays one boolean check and nothing else. The span is ended
+        at *delivery* (:meth:`end_hop_segment`); a message the transport
+        drops leaves its segment forever open, and open spans are never
+        exported — the causal chain simply has a gap where the overlay
+        swallowed the message, which is exactly what a real network
+        would show.
+        """
+        if ctx is None or not (self._traced and self._tracer.is_recording):
+            return None
+        record = self._records.get(walker_id)
+        return self._tracer.span(
+            SPAN_HOP_SEGMENT,
+            time=self._clock.now,
+            parent=record.span if record is not None else None,
+            walker_id=walker_id,
+            category=kind,
+            from_node=from_node,
+            to_node=to_node,
+            ctx_trace=ctx.trace_id,
+            ctx_span=ctx.span_id,
+            ctx_attempt=ctx.attempt,
+        )
+
+    def end_hop_segment(
+        self, segment: Span | None, walker_id: int, attempt: int
+    ) -> None:
+        """Close a transit span at delivery time.
+
+        ``orphaned`` marks deliveries of attempts the supervisor has
+        already superseded or resolved — they really happened on the
+        overlay (and are billed), but no live chain will claim them.
+        """
+        if segment is None:
+            return
+        self._tracer.end(
+            segment,
+            time=self._clock.now,
+            delivered=True,
+            orphaned=self.live_record(walker_id, attempt) is None,
+        )
+
+    def note_ctx_forward(
+        self,
+        walker_id: int,
+        ctx: TraceContext | None,
+        from_node: int,
+        to_node: int,
+    ) -> None:
+        """A handler forwarded a message with its context unchanged."""
+        if ctx is None or not (self._traced and self._tracer.is_recording):
+            return
+        record = self._records.get(walker_id)
+        if record is None:
+            return
+        record.span.events.append(
+            TraceEvent(
+                self._clock.now,
+                EVENT_CTX_FORWARD,
+                {
+                    "ctx_trace": ctx.trace_id,
+                    "ctx_span": ctx.span_id,
+                    "ctx_attempt": ctx.attempt,
+                    "from_node": from_node,
+                    "to_node": to_node,
+                },
+            )
+        )
 
     def _attach_message_counts(self, record: WalkRecord) -> None:
         """Surface fast-path message counts on the span before it ends."""

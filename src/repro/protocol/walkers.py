@@ -33,7 +33,12 @@ from repro.network.graph import OverlayGraph
 from repro.network.messaging import MessageLedger
 from repro.protocol.advertisements import AdvertisementCache
 from repro.protocol.lifecycle import WalkLifecycle, WalkRecord
-from repro.protocol.messages import SampleReturn, WalkToken
+from repro.protocol.messages import (
+    BounceBack,
+    SampleReturn,
+    TraceContext,
+    WalkToken,
+)
 from repro.protocol.routing import RoutingPolicy
 from repro.protocol.transport import KIND_RETURN, KIND_WALK, Transport
 from repro.sampling.weights import WeightFunction
@@ -108,6 +113,7 @@ class WalkExecutor:
         from_node: int,
         to_node: int,
         walker_id: int,
+        ctx: TraceContext | None,
         deliver: Callable[[], None],
     ) -> None:
         """Send one message: pay for it, note it, hand it to transport.
@@ -115,9 +121,27 @@ class WalkExecutor:
         The cost is recorded at send time — a message lost in transit was
         still sent; loss, partitions, and crashed receivers are the
         transport's concern and surface as fault events, never here.
+
+        When a recording sink is attached, the transit gets its own
+        ``hop_segment`` span carrying the message's trace context: opened
+        here at send time, closed by the wrapped ``deliver`` at delivery
+        time. The transport stays context-agnostic — it just runs the
+        thunk — so any backend (including a future asyncio one) inherits
+        causal tracing without knowing it exists.
         """
         self._record_traffic(attempt, kind)
         self._lifecycle.note_message(walker_id, attempt, kind, to_node)
+        segment = self._lifecycle.begin_hop_segment(
+            walker_id, kind, from_node, to_node, ctx
+        )
+        if segment is not None:
+            inner = deliver
+
+            def traced_deliver() -> None:
+                self._lifecycle.end_hop_segment(segment, walker_id, attempt)
+                inner()
+
+            deliver = traced_deliver
         self._transport.send(kind, from_node, to_node, walker_id, deliver)
 
     # ------------------------------------------------------------------
@@ -146,7 +170,7 @@ class WalkExecutor:
             )
             return
         if steps_remaining <= 0:
-            self._begin_return(walker_id, origin, node, attempt)
+            self._begin_return(walker_id, origin, node, attempt, record.ctx)
             return
         if self._laziness > 0.0 and self._rng.random() < self._laziness:
             # lazy self-loop: burns a tick, sends nothing
@@ -180,11 +204,13 @@ class WalkExecutor:
             target = neighbors[int(self._rng.integers(len(neighbors)))]
         if self._variant == "cached":
             self._cached_step(
-                walker_id, origin, node, target, steps_remaining, attempt
+                walker_id, origin, node, target, steps_remaining, attempt,
+                record.ctx,
             )
         else:
             self._bounce_step(
-                walker_id, origin, node, target, steps_remaining, attempt
+                walker_id, origin, node, target, steps_remaining, attempt,
+                record.ctx,
             )
 
     def _acceptance(self, w_i: float, d_i: int, w_j: float, d_j: int) -> float:
@@ -200,6 +226,7 @@ class WalkExecutor:
         target: int,
         steps_remaining: int,
         attempt: int,
+        ctx: TraceContext | None,
     ) -> None:
         """Cached variant: decide locally; only accepted moves send."""
         ads = self._ads
@@ -235,6 +262,7 @@ class WalkExecutor:
                 sender_weight=self._weight(node),
                 sender_degree=self._graph.degree(node),
                 attempt=attempt,
+                ctx=ctx,
             )
             self._send_token(token, target)
         else:
@@ -254,6 +282,7 @@ class WalkExecutor:
         target: int,
         steps_remaining: int,
         attempt: int,
+        ctx: TraceContext | None,
     ) -> None:
         """Bounce variant: forward optimistically; receiver may bounce."""
         token = WalkToken(
@@ -264,6 +293,7 @@ class WalkExecutor:
             sender_weight=self._weight(node),
             sender_degree=self._graph.degree(node),
             attempt=attempt,
+            ctx=ctx,
         )
         self._send_token(token, target, evaluate_at_receiver=True)
 
@@ -288,6 +318,7 @@ class WalkExecutor:
             token.sender,
             to_node,
             token.walker_id,
+            token.ctx,
             deliver,
         )
 
@@ -311,23 +342,36 @@ class WalkExecutor:
             )
         else:
             self.bounces += 1
+            # the rejected token returns as an explicit bounce message,
+            # its context forwarded unchanged from the incoming token
+            bounce = BounceBack(
+                walker_id=token.walker_id,
+                origin=token.origin,
+                steps_remaining=token.steps_remaining - 1,
+                attempt=token.attempt,
+                ctx=token.ctx,
+            )
+            self._lifecycle.note_ctx_forward(
+                bounce.walker_id, bounce.ctx, node, token.sender
+            )
 
             def deliver() -> None:
                 self._handle_step(
-                    token.walker_id,
-                    token.origin,
+                    bounce.walker_id,
+                    bounce.origin,
                     token.sender,
-                    token.steps_remaining - 1,
-                    token.attempt,
+                    bounce.steps_remaining,
+                    bounce.attempt,
                 )
 
             # the bounce message, subject to the same unreliable delivery
             self._transmit(
-                token.attempt,
+                bounce.attempt,
                 KIND_WALK,
                 node,
                 token.sender,
-                token.walker_id,
+                bounce.walker_id,
+                bounce.ctx,
                 deliver,
             )
 
@@ -336,7 +380,12 @@ class WalkExecutor:
     # ------------------------------------------------------------------
 
     def _begin_return(
-        self, walker_id: int, origin: int, node: int, attempt: int
+        self,
+        walker_id: int,
+        origin: int,
+        node: int,
+        attempt: int,
+        ctx: TraceContext | None,
     ) -> None:
         self._handle_return(
             SampleReturn(
@@ -345,6 +394,7 @@ class WalkExecutor:
                 sampled_node=node,
                 at_node=node,
                 attempt=attempt,
+                ctx=ctx,
             )
         )
 
@@ -387,7 +437,12 @@ class WalkExecutor:
                 node=message.at_node,
             )
             return
+        # ``replace`` keeps every other field — including ``ctx`` —
+        # untouched: forwarding never re-mints context (DGL015)
         forwarded = replace(message, at_node=next_hop)
+        self._lifecycle.note_ctx_forward(
+            message.walker_id, forwarded.ctx, message.at_node, next_hop
+        )
 
         def deliver() -> None:
             self._handle_return(forwarded)
@@ -398,5 +453,6 @@ class WalkExecutor:
             message.at_node,
             next_hop,
             message.walker_id,
+            message.ctx,
             deliver,
         )

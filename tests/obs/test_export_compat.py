@@ -1,0 +1,112 @@
+"""Backward-compatibility gate for trace format v1.
+
+``tests/obs/golden/v1_faulted_trace.jsonl`` is a committed trace written
+by the v1 exporter (before hop segments existed). The v2 reader must
+import it unchanged, and the full analysis surface — attribution,
+replayed counters, walk outcomes, causal assembly — must produce
+*byte-identical* output against the committed expectation. Any diff here
+is a silent format break for every trace users have already saved.
+
+Regenerating the expectation (only when the analysis surface gains
+fields, never because values drifted)::
+
+    PYTHONPATH=src python -m tests.obs.test_export_compat --write
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.analysis import (
+    assemble,
+    counter_dict,
+    critical_paths,
+    hop_latency_attribution,
+    message_attribution,
+    run_metrics_from_trace,
+    walk_outcomes,
+)
+from repro.obs.export import SUPPORTED_VERSIONS, export_trace, import_trace
+from repro.obs.schema import SPAN_HOP_SEGMENT
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+V1_TRACE = GOLDEN_DIR / "v1_faulted_trace.jsonl"
+V1_ANALYSIS = GOLDEN_DIR / "v1_faulted_analysis.json"
+
+
+def analysis_payload(trace) -> dict[str, object]:
+    """Every analysis product a v1 trace feeds, in one JSON-stable dict."""
+    assembly = assemble(trace)
+    return {
+        "message_attribution": message_attribution(trace),
+        "counters": counter_dict(run_metrics_from_trace(trace)),
+        "walk_outcomes": walk_outcomes(trace),
+        "causal_assembly": assembly.summary(),
+        "hop_latency": hop_latency_attribution(assembly),
+        "critical_paths": [
+            path.as_dict() for path in critical_paths(trace, assembly)
+        ],
+    }
+
+
+def render_payload(trace) -> str:
+    return json.dumps(analysis_payload(trace), indent=2, sort_keys=True) + "\n"
+
+
+class TestV1Import:
+    def test_v1_is_a_supported_version(self):
+        assert 1 in SUPPORTED_VERSIONS
+
+    def test_v1_golden_imports_through_the_v2_reader(self):
+        trace = import_trace(V1_TRACE)
+        header = json.loads(V1_TRACE.read_text().splitlines()[0])
+        assert header["format_version"] == 1
+        assert len(trace.spans) == header["n_spans"]
+        assert len(trace.events) == header["n_events"]
+        assert "truncated" not in trace.meta
+
+    def test_v1_trace_has_no_hop_segments_and_bare_chains(self):
+        trace = import_trace(V1_TRACE)
+        assert not list(trace.spans_named(SPAN_HOP_SEGMENT))
+        assembly = assemble(trace)
+        assert assembly.walks
+        assert all(not tree.chain for tree in assembly.walks)
+        # walks can still be bounded, but with no transit to attribute
+        # the whole latency is supervision-side
+        for path in critical_paths(trace, assembly):
+            assert path.hops == ()
+            assert path.chain_latency == 0
+            assert path.supervision_latency == path.walk_latency
+
+    def test_v1_analysis_is_byte_identical_to_the_committed_golden(self):
+        """The load-bearing gate: a v1 file must keep analyzing to the
+        exact bytes it produced when v2 shipped."""
+        trace = import_trace(V1_TRACE)
+        assert render_payload(trace) == V1_ANALYSIS.read_text(
+            encoding="utf-8"
+        )
+
+    def test_v1_reexports_as_v2_with_identical_analysis(self, tmp_path):
+        """Upgrading a v1 file through export is lossless: the rewritten
+        file declares v2 but analyzes to the same bytes."""
+        trace = import_trace(V1_TRACE)
+        path = export_trace(trace, tmp_path / "upgraded.jsonl")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format_version"] == 2
+        assert render_payload(import_trace(path)) == render_payload(trace)
+
+
+def main() -> None:  # pragma: no cover - regeneration entry point
+    import sys
+
+    if "--write" not in sys.argv:
+        raise SystemExit(__doc__)
+    V1_ANALYSIS.write_text(
+        render_payload(import_trace(V1_TRACE)), encoding="utf-8"
+    )
+    print(f"wrote {V1_ANALYSIS}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -65,32 +65,44 @@ V1_EVENT_NAMES = {
     "EVENT_ALERT_RESOLVED": "alert_resolved",
 }
 
+#: trace format v2 additions (causal hop tracing). Same freeze rules.
+V2_SPAN_NAMES = {
+    "SPAN_HOP_SEGMENT": "hop_segment",
+}
+
+V2_EVENT_NAMES = {
+    "EVENT_CTX_FORWARD": "ctx_forward",
+}
+
+PINNED_SPAN_NAMES = {**V1_SPAN_NAMES, **V2_SPAN_NAMES}
+PINNED_EVENT_NAMES = {**V1_EVENT_NAMES, **V2_EVENT_NAMES}
+
 
 class TestFrozenV1Values:
     def test_span_constants_pin_v1_values(self):
-        for constant, value in V1_SPAN_NAMES.items():
+        for constant, value in PINNED_SPAN_NAMES.items():
             assert getattr(schema, constant) == value
 
     def test_event_constants_pin_v1_values(self):
-        for constant, value in V1_EVENT_NAMES.items():
+        for constant, value in PINNED_EVENT_NAMES.items():
             assert getattr(schema, constant) == value
 
     def test_no_unpinned_name_constants(self):
-        """Every SPAN_*/EVENT_* constant is in the pinned table above --
-        adding a name means extending the v1 table here, deliberately."""
+        """Every SPAN_*/EVENT_* constant is in the pinned tables above --
+        adding a name means extending the version table here, deliberately."""
         declared = {
             name
             for name in vars(schema)
             if name.startswith(("SPAN_", "EVENT_"))
             and isinstance(getattr(schema, name), str)
         }
-        assert declared == set(V1_SPAN_NAMES) | set(V1_EVENT_NAMES)
+        assert declared == set(PINNED_SPAN_NAMES) | set(PINNED_EVENT_NAMES)
 
 
 class TestRegistry:
     def test_every_constant_has_a_registry_entry(self):
-        assert span_names() == frozenset(V1_SPAN_NAMES.values())
-        assert event_names() == frozenset(V1_EVENT_NAMES.values())
+        assert span_names() == frozenset(PINNED_SPAN_NAMES.values())
+        assert event_names() == frozenset(PINNED_EVENT_NAMES.values())
         assert trace_names() == span_names() | event_names()
 
     def test_registry_keys_match_entry_names(self):

@@ -116,3 +116,46 @@ def test_no_traces_writes_no_attribution(collector):
     module.main()
     assert "Trace cost attribution" not in module.OUTPUT.read_text()
     assert not (results / "trace_attribution.json").exists()
+
+
+def test_stale_bench_payload_warns(collector, tmp_path):
+    import os
+
+    module, _ = collector
+    payload = tmp_path / "BENCH_fake.json"
+    producer = tmp_path / "bench_fake.py"
+    payload.write_text("{}")
+    producer.write_text("# bench\n")
+    os.utime(payload, (1_000_000, 1_000_000))
+    os.utime(producer, (2_000_000, 2_000_000))
+    warnings = module.stale_bench_payloads(((payload, producer),))
+    assert len(warnings) == 1
+    assert "BENCH_fake.json" in warnings[0]
+    assert "bench_fake.py" in warnings[0]
+
+
+def test_fresh_bench_payload_is_silent(collector, tmp_path):
+    import os
+
+    module, _ = collector
+    payload = tmp_path / "BENCH_fake.json"
+    producer = tmp_path / "bench_fake.py"
+    producer.write_text("# bench\n")
+    payload.write_text("{}")
+    os.utime(producer, (1_000_000, 1_000_000))
+    os.utime(payload, (2_000_000, 2_000_000))
+    assert module.stale_bench_payloads(((payload, producer),)) == []
+
+
+def test_missing_bench_payload_is_not_stale(collector, tmp_path):
+    module, _ = collector
+    producer = tmp_path / "bench_fake.py"
+    producer.write_text("# bench\n")
+    missing = tmp_path / "BENCH_fake.json"
+    assert module.stale_bench_payloads(((missing, producer),)) == []
+
+
+def test_every_declared_producer_script_exists(collector):
+    module, _ = collector
+    for _payload, producer in module.BENCH_PRODUCERS:
+        assert producer.exists(), producer

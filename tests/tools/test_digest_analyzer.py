@@ -1,7 +1,7 @@
 """Tests for the cross-module digest analyzer (tools.digest_analyzer).
 
 Organization mirrors the architecture: fixture-driven tests per
-cross-module rule (DGL009-DGL014) — each seeded violation must be
+cross-module rule (DGL009-DGL015) — each seeded violation must be
 caught, and for the reachability rules the same fixture is shown to be
 *invisible* to the old per-file rule it upgrades — then the pragma
 layer, the baseline, the cache, SARIF, the CLI, and the repository
@@ -816,6 +816,188 @@ class TestLayeringConformance:
             """,
         }
         assert codes(sources, select={"DGL014"}) == []
+
+
+# ----------------------------------------------------------------------
+# DGL015 -- context propagation
+# ----------------------------------------------------------------------
+
+
+class TestContextPropagation:
+    PATH = "src/repro/protocol/snippet.py"
+
+    def test_forwarded_ctx_name_passes(self) -> None:
+        sources = {
+            self.PATH: """\
+            from repro.protocol.messages import WalkToken
+
+            def forward(token):
+                return WalkToken(
+                    walker_id=token.walker_id,
+                    origin=token.origin,
+                    steps_remaining=token.steps_remaining - 1,
+                    sender=0,
+                    sender_weight=1.0,
+                    sender_degree=4,
+                    ctx=token.ctx,
+                )
+            """
+        }
+        assert codes(sources, select={"DGL015"}) == []
+
+    def test_missing_ctx_is_flagged(self) -> None:
+        sources = {
+            self.PATH: """\
+            from repro.protocol.messages import SampleReturn
+
+            def respond(token):
+                return SampleReturn(
+                    walker_id=token.walker_id,
+                    origin=token.origin,
+                    sampled_node=3,
+                    at_node=3,
+                )
+            """
+        }
+        result = analyze(sources, select={"DGL015"})
+        assert [(f.code, f.path) for f in result.findings] == [
+            ("DGL015", self.PATH)
+        ]
+        assert "without ctx=" in result.findings[0].message
+
+    def test_explicit_ctx_none_is_flagged(self) -> None:
+        sources = {
+            self.PATH: """\
+            from repro.protocol.messages import BounceBack
+
+            def bounce(token):
+                return BounceBack(
+                    walker_id=token.walker_id, origin=token.origin, ctx=None
+                )
+            """
+        }
+        result = analyze(sources, select={"DGL015"})
+        assert [f.code for f in result.findings] == ["DGL015"]
+        assert "drops context" in result.findings[0].message
+
+    def test_hand_built_ctx_dict_is_flagged(self) -> None:
+        sources = {
+            self.PATH: """\
+            from repro.protocol.messages import WalkToken
+
+            def forge(token):
+                return WalkToken(
+                    walker_id=0,
+                    origin=0,
+                    steps_remaining=1,
+                    sender=0,
+                    sender_weight=1.0,
+                    sender_degree=4,
+                    ctx={"trace_id": 1, "span_id": 1, "attempt": 1},
+                )
+            """
+        }
+        result = analyze(sources, select={"DGL015"})
+        assert [f.code for f in result.findings] == ["DGL015"]
+        assert "hand-built ctx dict" in result.findings[0].message
+
+    def test_direct_trace_context_construction_is_flagged(self) -> None:
+        sources = {
+            self.PATH: """\
+            from repro.protocol.messages import TraceContext
+
+            def forge():
+                return TraceContext(trace_id=1, span_id=1, attempt=1)
+            """
+        }
+        result = analyze(sources, select={"DGL015"})
+        assert [f.code for f in result.findings] == ["DGL015"]
+        assert "direct TraceContext" in result.findings[0].message
+
+    def test_minting_outside_the_lifecycle_is_flagged(self) -> None:
+        sources = {
+            self.PATH: """\
+            from repro.protocol.messages import mint_context
+
+            def remint(record):
+                return mint_context(record.span_id, record.span_id, 2)
+            """
+        }
+        result = analyze(sources, select={"DGL015"})
+        assert [f.code for f in result.findings] == ["DGL015"]
+        assert "stamping authority" in result.findings[0].message
+
+    def test_reminting_at_the_construction_site_is_flagged(self) -> None:
+        sources = {
+            self.PATH: """\
+            from repro.protocol.messages import WalkToken, mint_context
+
+            def launch(span_id):
+                return WalkToken(
+                    walker_id=0,
+                    origin=0,
+                    steps_remaining=5,
+                    sender=0,
+                    sender_weight=1.0,
+                    sender_degree=4,
+                    ctx=mint_context(span_id, span_id, 1),
+                )
+            """
+        }
+        # both the mint-outside-authority and the re-mint-at-ctor findings
+        assert codes(sources, select={"DGL015"}) == ["DGL015", "DGL015"]
+
+    def test_lifecycle_module_may_mint(self) -> None:
+        sources = {
+            "src/repro/protocol/lifecycle.py": """\
+            from repro.protocol.messages import WalkToken, mint_context
+
+            def launch(span_id, attempt):
+                ctx = mint_context(span_id, span_id, attempt)
+                return WalkToken(
+                    walker_id=0,
+                    origin=0,
+                    steps_remaining=5,
+                    sender=0,
+                    sender_weight=1.0,
+                    sender_degree=4,
+                    ctx=ctx,
+                )
+            """
+        }
+        assert codes(sources, select={"DGL015"}) == []
+
+    def test_weight_advertisement_is_control_traffic(self) -> None:
+        """WeightAdvertisement is caused by no single walk; ctx-free
+        construction is legitimate there."""
+        sources = {
+            "src/repro/network/snippet.py": """\
+            from repro.protocol.messages import WeightAdvertisement
+
+            def advertise(node):
+                return WeightAdvertisement(sender=node, weight=1.0, degree=4)
+            """
+        }
+        assert codes(sources, select={"DGL015"}) == []
+
+    def test_tests_and_tools_are_exempt(self) -> None:
+        sources = {
+            "tests/protocol/snippet.py": """\
+            from repro.protocol.messages import TraceContext, WalkToken
+
+            def fixture():
+                return WalkToken(
+                    walker_id=0,
+                    origin=0,
+                    steps_remaining=1,
+                    sender=0,
+                    sender_weight=1.0,
+                    sender_degree=4,
+                    ctx=TraceContext(trace_id=1, span_id=1, attempt=1),
+                )
+            """
+        }
+        assert codes(sources, select={"DGL015"}) == []
 
 
 # ----------------------------------------------------------------------

@@ -16,7 +16,10 @@ check —
 * **DGL013** handler-raise reachability (DGL006, likewise);
 * **DGL014** layering conformance: ``repro.protocol`` must not import
   ``repro.core``, and ``repro.network`` must not import
-  ``repro.protocol`` — the protocol stack direction is one-way.
+  ``repro.protocol`` — the protocol stack direction is one-way;
+* **DGL015** context propagation: walk-message constructors must thread
+  a forwarded :class:`TraceContext`; fresh context is minted only by the
+  walk lifecycle through the sanctioned ``mint_context``.
 
 Operationally: ``# dgl: disable=DGLxxx`` pragmas with unused-suppression
 detection (DGL099), a committed baseline for grandfathered findings,

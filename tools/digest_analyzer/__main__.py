@@ -32,7 +32,7 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m tools.digest_analyzer",
         description=(
             "Cross-module static analysis enforcing the Digest "
-            "reproduction's simulation invariants (DGL001-DGL013). "
+            "reproduction's simulation invariants (DGL001-DGL015). "
             "Suppress a single line with '# dgl: disable=DGL0xx'."
         ),
     )

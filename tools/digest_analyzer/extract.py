@@ -40,7 +40,7 @@ from tools.digest_analyzer.rules_local import (
 )
 
 #: Bump to invalidate every cached entry (facts layout or rule change).
-ANALYZER_VERSION = "2"
+ANALYZER_VERSION = "3"
 
 #: Local markers the resolver uses for names pass 2 must finish resolving.
 LOCAL_PREFIX = "@local."  # module-level def in the same file
@@ -58,6 +58,11 @@ class CallFact:
     #: RNG-ish arguments: ``(slot, taint)`` where slot is a 0-based
     #: positional index or a keyword name, taint the local taint root
     rng_args: list[tuple[int | str, str]] = field(default_factory=list)
+    #: classification of a ``ctx=`` keyword argument, when present:
+    #: ``"name"`` (a Name/Attribute chain — forwarded), ``"call:<target>"``
+    #: (built by calling <target>), ``"dict"`` (hand-built literal),
+    #: ``"none"`` (explicit None), or ``"other"`` (DGL015 raw material)
+    ctx_arg: str | None = None
 
 
 @dataclass
@@ -156,6 +161,7 @@ class FileFacts:
                             "col": c.col,
                             "target": c.target,
                             "rng_args": [list(a) for a in c.rng_args],
+                            "ctx_arg": c.ctx_arg,
                         }
                         for c in f.calls
                     ],
@@ -216,6 +222,7 @@ class FileFacts:
                     col=c["col"],
                     target=c["target"],
                     rng_args=[(a[0], a[1]) for a in c["rng_args"]],
+                    ctx_arg=c.get("ctx_arg"),
                 )
                 for c in f["calls"]
             ]
@@ -388,6 +395,8 @@ class _FunctionExtractor:
                 taint = self._taint_of(keyword.value)
                 if taint is not None:
                     fact.rng_args.append((keyword.arg, taint))
+                if keyword.arg == "ctx":
+                    fact.ctx_arg = self._classify_ctx(keyword.value)
             self.fact.calls.append(fact)
         trace = self._match_trace_call(call)
         if trace is not None and trace not in self.facts.trace_calls:
@@ -407,6 +416,21 @@ class _FunctionExtractor:
                     context="spans_named",
                 )
             )
+
+    def _classify_ctx(self, value: ast.expr) -> str:
+        """Summarize what a ``ctx=`` keyword argument is (DGL015 fuel)."""
+        if isinstance(value, ast.Constant) and value.value is None:
+            return "none"
+        if isinstance(value, (ast.Name, ast.Attribute)):
+            return "name" if _render(value) is not None else "other"
+        if isinstance(value, ast.Dict):
+            return "dict"
+        if isinstance(value, ast.Call):
+            target = self._resolve_call_target(value.func)
+            if target is None:
+                target = _render(value.func) or "?"
+            return f"call:{target}"
+        return "other"
 
     _trace_seen: dict[int, TraceCallFact] = {}
 

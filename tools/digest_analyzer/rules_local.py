@@ -10,7 +10,7 @@ explicitly exempt ``tests/`` and ``benchmarks/`` trees -- a test may time
 itself or reach into private state to assert on it; only the hygiene
 rules (seeded RNGs, float comparison) follow the code everywhere.
 
-The cross-module rules (DGL009-DGL013) live in
+The cross-module rules (DGL009-DGL015) live in
 ``tools.digest_analyzer.rules_project``; they need the whole-program
 facts the extractor builds and cannot run per file.
 

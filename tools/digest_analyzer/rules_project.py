@@ -1,4 +1,4 @@
-"""Cross-module rules (DGL009-DGL014): pass 2 over the project view.
+"""Cross-module rules (DGL009-DGL015): pass 2 over the project view.
 
 Unlike the per-file rules these need the whole program: the declared
 trace schema, the call graph, or the interprocedural RNG summaries.
@@ -538,6 +538,152 @@ class LayeringConformance(ProjectRule):
         return findings
 
 
+class ContextPropagation(ProjectRule):
+    """DGL015: message construction must thread TraceContext properly."""
+
+    code = "DGL015"
+    name = "context-propagation"
+    summary = (
+        "walk-message constructors must thread a forwarded TraceContext; "
+        "minting is reserved to the lifecycle's sanctioned mint_context"
+    )
+    rationale = (
+        "Causal assembly joins hop segments to walks by the context the "
+        "messages carried. A call site that drops ctx breaks the chain "
+        "silently (the trace just loses hops); one that hand-builds or "
+        "re-mints context mid-flight attaches hops to the wrong tree. "
+        "Both corrupt the critical-path report without failing anything "
+        "at runtime, so the discipline is enforced statically: forward "
+        "the incoming message's ctx unchanged, and mint only from the "
+        "origin-side supervisor."
+    )
+
+    #: the protocol messages that carry per-walk causal context; their
+    #: construction must thread a forwarded ctx (WeightAdvertisement is
+    #: control traffic — not caused by any one walk — so ctx=None there
+    #: is legitimate and it is deliberately absent from this set)
+    _WALK_MESSAGE_CTORS = frozenset(
+        {"WalkToken", "BounceBack", "SampleReturn"}
+    )
+    _MESSAGES_MODULE = "repro.protocol.messages"
+    _MINT = "repro.protocol.messages.mint_context"
+    #: modules allowed to mint fresh context (the stamping authority and
+    #: the definition site itself)
+    _MINT_AUTHORITY = ("repro.protocol.lifecycle", _MESSAGES_MODULE)
+
+    def _ctor_name(self, target: str) -> str | None:
+        """The walk-message class a call target names, if any."""
+        final = target.rsplit(".", 1)[-1]
+        if final not in self._WALK_MESSAGE_CTORS:
+            return None
+        if target.startswith("repro.") or target.startswith("@"):
+            return final
+        return None
+
+    def check(self, project: Project, schema: SchemaFacts) -> list[Finding]:
+        findings: list[Finding] = []
+        for fn in project.functions.values():
+            if not _in_src_repro(fn.parts):
+                continue
+            if fn.module == self._MESSAGES_MODULE:
+                continue  # the definition site may do as it pleases
+            for call in fn.fact.calls:
+                findings.extend(self._check_call(fn, call))
+        return findings
+
+    def _check_call(self, fn: ProjectFunction, call) -> list[Finding]:
+        target = call.target
+        # fresh-context creation outside the sanctioned channel
+        if target.rsplit(".", 1)[-1] == "TraceContext" and target.startswith(
+            ("repro.", "@")
+        ):
+            return [
+                self._finding(
+                    fn.path,
+                    call.lineno,
+                    call.col,
+                    "direct TraceContext(...) construction; fresh context "
+                    f"comes only from {self._MINT} (and only the "
+                    "lifecycle mints)",
+                )
+            ]
+        if target == self._MINT and not fn.module.startswith(
+            self._MINT_AUTHORITY
+        ):
+            return [
+                self._finding(
+                    fn.path,
+                    call.lineno,
+                    call.col,
+                    f"mint_context() called from {fn.module}; only the "
+                    "walk lifecycle is the stamping authority — forward "
+                    "the incoming message's ctx instead",
+                )
+            ]
+        ctor = self._ctor_name(target)
+        if ctor is None:
+            return []
+        # a walk-message construction site: ctx must be forwarded
+        if call.ctx_arg is None:
+            return [
+                self._finding(
+                    fn.path,
+                    call.lineno,
+                    call.col,
+                    f"{ctor}(...) constructed without ctx=; thread the "
+                    "walk's TraceContext through every message it sends",
+                )
+            ]
+        if call.ctx_arg == "dict":
+            return [
+                self._finding(
+                    fn.path,
+                    call.lineno,
+                    call.col,
+                    f"{ctor}(...) given a hand-built ctx dict; pass the "
+                    "TraceContext forwarded from the record or message",
+                )
+            ]
+        if call.ctx_arg == "none":
+            return [
+                self._finding(
+                    fn.path,
+                    call.lineno,
+                    call.col,
+                    f"{ctor}(...) explicitly drops context (ctx=None); "
+                    "forward the incoming ctx so causal assembly can "
+                    "join this hop to its walk",
+                )
+            ]
+        if call.ctx_arg.startswith("call:"):
+            built_by = call.ctx_arg[len("call:") :]
+            if built_by == self._MINT and fn.module.startswith(
+                self._MINT_AUTHORITY
+            ):
+                return []
+            return [
+                self._finding(
+                    fn.path,
+                    call.lineno,
+                    call.col,
+                    f"{ctor}(...) re-mints context at the construction "
+                    f"site (ctx={built_by}(...)); forward the incoming "
+                    "ctx unchanged",
+                )
+            ]
+        if call.ctx_arg == "other":
+            return [
+                self._finding(
+                    fn.path,
+                    call.lineno,
+                    call.col,
+                    f"{ctor}(...) ctx= is not a plain forwarded "
+                    "name/attribute; forward the incoming ctx unchanged",
+                )
+            ]
+        return []  # "name": a forwarded context
+
+
 ALL_PROJECT_RULES: tuple[ProjectRule, ...] = (
     TraceSchemaConformance(),
     TraceNameLiterals(),
@@ -545,6 +691,7 @@ ALL_PROJECT_RULES: tuple[ProjectRule, ...] = (
     WallClockReachability(),
     HandlerRaiseReachability(),
     LayeringConformance(),
+    ContextPropagation(),
 )
 
 PROJECT_RULES_BY_CODE: dict[str, ProjectRule] = {

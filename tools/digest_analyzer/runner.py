@@ -7,7 +7,7 @@ Pipeline per run:
    :class:`FileFacts` + raw per-file findings (DGL001-DGL008, DGL000 on
    unparseable files);
 3. pass 2 — build the :class:`Project` view, statically parse the trace
-   schema, run the cross-module rules (DGL009-DGL013);
+   schema, run the cross-module rules (DGL009-DGL015);
 4. policy — ``# noqa`` / ``# dgl: disable`` pragmas (with unused-
    suppression findings), then the committed baseline;
 5. hand the surviving findings to the caller (CLI, tests, CI).

@@ -14,10 +14,17 @@ which is equivalent to ``repro-digest trace <subcommand> ...``.
 
 from repro.obs.analysis import (
     COUNTER_FIELDS,
+    CausalAssembly,
+    CausalHop,
+    CriticalPath,
+    WalkTree,
+    assemble,
     counter_dict,
+    critical_paths,
     degraded_timeline,
     fault_timeline,
     folded_stacks,
+    hop_latency_attribution,
     message_attribution,
     run_metrics_from_trace,
     trigger_breakdown,
@@ -39,13 +46,20 @@ from repro.obs.schema import (
 
 __all__ = [
     "COUNTER_FIELDS",
+    "CausalAssembly",
+    "CausalHop",
+    "CriticalPath",
     "EVENT_SCHEMAS",
     "SPAN_SCHEMAS",
+    "WalkTree",
+    "assemble",
     "counter_dict",
+    "critical_paths",
     "degraded_timeline",
     "event_names",
     "fault_timeline",
     "folded_stacks",
+    "hop_latency_attribution",
     "message_attribution",
     "run_metrics_from_trace",
     "span_names",

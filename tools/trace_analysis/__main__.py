@@ -1,4 +1,4 @@
-"""``python -m tools.trace_analysis <summarize|attribute|flame> ...``"""
+"""``python -m tools.trace_analysis <summarize|attribute|flame|critpath> ...``"""
 
 from __future__ import annotations
 
